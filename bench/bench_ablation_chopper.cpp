@@ -1,0 +1,71 @@
+// Ablation A4: why the chopper-stabilized modulator showed no advantage
+// (paper Sec. V).  Two reasons given: (1) second-generation SI cells
+// perform correlated double sampling, already suppressing low-frequency
+// noise; (2) the floor is white thermal noise, which chopping cannot
+// remove.  We sweep both knobs: CDS on/off (cell generation) and the
+// flicker noise magnitude, for both modulators.
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/table.hpp"
+#include "dsm/modulator.hpp"
+
+using namespace si;
+
+namespace {
+
+double inband_snr(bool chopper, cells::CellGeneration gen,
+                  double flicker_rms, std::uint64_t seed) {
+  analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 2.45e6;
+  cfg.tone_hz = 2e3;
+  cfg.band_hz = 2.45e6 / 256.0;
+  cfg.fft_points = 1 << 15;
+  auto dut = [&](const std::vector<double>& x) {
+    dsm::SiModulatorConfig mc;
+    mc.chopper = chopper;
+    mc.cell.generation = gen;
+    mc.cell.flicker_noise_rms = flicker_rms;
+    mc.seed = seed;
+    dsm::SiSigmaDeltaModulator m(mc);
+    auto y = m.run(x);
+    for (auto& v : y) v *= mc.full_scale;
+    return y;
+  };
+  return analysis::run_tone_test(dut, 3e-6, cfg).metrics.snr_db;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      std::cout, "Ablation A4 - why chopping did not help (paper Sec. V)");
+
+  analysis::Table t({"cell generation", "flicker rms", "plain SNR [dB]",
+                     "chopper SNR [dB]", "chopper gain [dB]"});
+  struct Case {
+    cells::CellGeneration gen;
+    double flicker;
+    const char* label;
+  };
+  const Case cases[] = {
+      {cells::CellGeneration::kSecond, 25e-9, "2nd gen (CDS), nominal 1/f"},
+      {cells::CellGeneration::kSecond, 200e-9, "2nd gen (CDS), 8x 1/f"},
+      {cells::CellGeneration::kFirst, 25e-9, "1st gen (no CDS), nominal 1/f"},
+      {cells::CellGeneration::kFirst, 200e-9, "1st gen (no CDS), 8x 1/f"},
+  };
+  for (const auto& cs : cases) {
+    const double plain = inband_snr(false, cs.gen, cs.flicker, 21);
+    const double chop = inband_snr(true, cs.gen, cs.flicker, 22);
+    t.add_row({cs.label, analysis::fmt_eng(cs.flicker, "A", 0),
+               analysis::fmt(plain, 1), analysis::fmt(chop, 1),
+               analysis::fmt(chop - plain, 1)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\n  Expected shape: with CDS (2nd generation) the chopper gains"
+         " ~nothing\n  even for large 1/f; without CDS and with large 1/f"
+         " the chopper wins\n  clearly — reproducing the paper's two"
+         " explanations.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Eqs. (1)-(2): minimum supply voltage of the class-AB memory cell as a
+// function of the modulation index, and the paper's conclusion that
+// 3.3 V operation is possible with Vt around 1 V even for large inputs.
+// Also quantifies the CMFB headroom penalty that CMFF removes.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "si/supply.hpp"
+
+using namespace si;
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Eqs. (1)-(2) - minimum supply voltage vs m_i");
+
+  const cells::SupplyDesign d;  // Vt = 1 V, overdrives 0.2-0.3 V
+  analysis::Table t({"m_i", "Eq.(1) [V]", "Eq.(2) [V]", "min Vdd [V]",
+                     "ok @ 3.3 V", "ok @ 3.0 V", "ok @ 2.5 V"});
+  for (double mi : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}) {
+    const auto r = cells::minimum_supply(d, mi);
+    t.add_row({analysis::fmt(mi, 2), analysis::fmt(r.eq1_volts, 2),
+               analysis::fmt(r.eq2_volts, 2),
+               analysis::fmt(r.minimum_volts, 2),
+               r.feasible_at(3.3) ? "yes" : "no",
+               r.feasible_at(3.0) ? "yes" : "no",
+               r.feasible_at(2.5) ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  max modulation index at 3.3 V: "
+            << analysis::fmt(cells::max_modulation_index(d, 3.3), 2)
+            << "  (paper: 3.3 V possible 'even with large input currents')\n";
+
+  // CMFB headroom penalty (Sec. III).
+  analysis::Table t2({"m_i", "CMFF min Vdd [V]", "CMFB min Vdd [V]"});
+  for (double mi : {0.0, 0.5, 1.0, 2.0}) {
+    const auto ff = cells::minimum_supply(d, mi);
+    const auto fb = cells::minimum_supply_with_cmfb(d, mi, 0.4);
+    t2.add_row({analysis::fmt(mi, 2), analysis::fmt(ff.minimum_volts, 2),
+                analysis::fmt(fb.minimum_volts, 2)});
+  }
+  std::cout << "\nCMFF vs CMFB supply requirement (0.4 V sense headroom):\n";
+  t2.print(std::cout);
+
+  // Threshold-voltage sensitivity: lower-Vt processes go lower still.
+  analysis::Table t3({"Vt [V]", "min Vdd @ m_i=1 [V]"});
+  for (double vt : {1.0, 0.8, 0.6, 0.4}) {
+    cells::SupplyDesign dv = d;
+    dv.vt_mn = dv.vt_mp = vt;
+    t3.add_row({analysis::fmt(vt, 1),
+                analysis::fmt(cells::minimum_supply(dv, 1.0).minimum_volts, 2)});
+  }
+  std::cout << "\nThreshold sensitivity (extension: low-voltage processes):\n";
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Extension E2: modulator order.  The authors' companion chip ([9])
+// used a first-order loop with first-generation cells; this bench puts
+// the first- and second-order SI loops side by side at the paper's
+// operating point, in both the quantization-limited (ideal cells) and
+// thermal-limited (paper cells) regimes.
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/table.hpp"
+#include "dsm/linear_model.hpp"
+#include "dsm/modulator.hpp"
+
+using namespace si;
+
+namespace {
+
+enum class Kind { kFirst, kSecond };
+
+double sndr_at(Kind kind, bool ideal, double osr, double level_db,
+               std::uint64_t seed) {
+  analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 2.45e6;
+  cfg.tone_hz = 2e3;
+  cfg.band_hz = 2.45e6 / (2.0 * osr);
+  cfg.fft_points = 1 << 15;
+  auto dut = [&](const std::vector<double>& x) {
+    dsm::SiModulatorConfig mc;
+    if (ideal) {
+      mc.cell = cells::MemoryCellParams::ideal();
+      mc.coeff_mismatch_sigma = 0.0;
+      mc.dac_mismatch_sigma = 0.0;
+      mc.cell_mismatch_sigma = 0.0;
+      mc.cmff.mirror_mismatch_sigma = 0.0;
+      mc.input_ci_a3 = 0.0;
+    }
+    mc.seed = seed;
+    std::vector<double> y;
+    if (kind == Kind::kFirst) {
+      dsm::FirstOrderSiModulator m(mc);
+      y = m.run(x);
+    } else {
+      dsm::SiSigmaDeltaModulator m(mc);
+      y = m.run(x);
+    }
+    for (auto& v : y) v *= mc.full_scale;
+    return y;
+  };
+  const double amp = 6e-6 * dsp::amplitude_ratio_from_db(level_db);
+  return analysis::run_tone_test(dut, amp, cfg).metrics.sndr_db;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Extension E2 - first vs second order SI loops");
+
+  analysis::Table t({"OSR", "1st order ideal [dB]", "2nd order ideal [dB]",
+                     "theory 1st [dB]", "theory 2nd [dB]"});
+  for (double osr : {32.0, 64.0, 128.0, 256.0}) {
+    t.add_row({analysis::fmt(osr, 0),
+               analysis::fmt(sndr_at(Kind::kFirst, true, osr, -6.0, 3), 1),
+               analysis::fmt(sndr_at(Kind::kSecond, true, osr, -6.0, 3), 1),
+               analysis::fmt(dsm::theoretical_peak_sqnr_db(1, osr), 1),
+               analysis::fmt(dsm::theoretical_peak_sqnr_db(2, osr), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "  (ideal cells: ~9 dB/octave vs ~15 dB/octave growth; the"
+               " measurements sit\n   below the theory peaks because they"
+               " are taken at -6 dBFS)\n";
+
+  analysis::Table t2(
+      {"loop", "SNDR @ -6 dB, OSR 128, paper cells [dB]"});
+  t2.add_row({"1st order (per [9])",
+              analysis::fmt(sndr_at(Kind::kFirst, false, 128.0, -6.0, 7), 1)});
+  t2.add_row({"2nd order (this paper)",
+              analysis::fmt(sndr_at(Kind::kSecond, false, 128.0, -6.0, 7), 1)});
+  std::cout << "\nWith the real cell noise floor:\n";
+  t2.print(std::cout);
+  std::cout << "  The thermal floor compresses the order advantage — the"
+               " first-order\n  loop is quantization-limited while the"
+               " second-order one has already\n  hit the 33 nA wall"
+               " (paper Sec. V).\n";
+  return 0;
+}

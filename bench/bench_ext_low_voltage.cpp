@@ -1,0 +1,87 @@
+// Extension E3: the 1.2 V / 0.8 mW direction of the authors' follow-up
+// work ([15]: "A 1.2-V 0.8-mW switched-current oversampling A/D
+// converter").  We re-derive the design point with the library's
+// models: lower thresholds and overdrives per Eqs. (1)-(2), scaled bias
+// currents in the power model, and a full behavioral simulation of the
+// modulator at the reduced full scale.
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/table.hpp"
+#include "dsm/linear_model.hpp"
+#include "dsm/modulator.hpp"
+#include "si/power_area.hpp"
+#include "si/supply.hpp"
+
+using namespace si;
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Extension E3 - toward a 1.2 V / 0.8 mW SI ADC [15]");
+
+  // ---- supply feasibility at 1.2 V ---------------------------------
+  cells::SupplyDesign lv;
+  lv.vt_mn = lv.vt_mp = 0.40;   // low-Vt devices
+  lv.vsat_mn = lv.vsat_mp = 0.12;
+  lv.vsat_tp = lv.vsat_tg = lv.vsat_tc = lv.vsat_tn = 0.12;
+  analysis::Table t({"m_i", "Eq.(1) [V]", "Eq.(2) [V]", "ok @ 1.2 V"});
+  for (double mi : {0.0, 0.5, 1.0, 1.5}) {
+    const auto r = cells::minimum_supply(lv, mi);
+    t.add_row({analysis::fmt(mi, 1), analysis::fmt(r.eq1_volts, 2),
+               analysis::fmt(r.eq2_volts, 2),
+               r.feasible_at(1.2) ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  std::cout << "  max modulation index at 1.2 V: "
+            << analysis::fmt(cells::max_modulation_index(lv, 1.2), 2)
+            << "\n";
+
+  // ---- power at the scaled bias budget ------------------------------
+  cells::CellCurrentBudget budget;
+  budget.gga_bias = 12e-6;       // halved branch currents
+  budget.cascode_bias = 10e-6;
+  budget.memory_quiescent = 2e-6;
+  const cells::PowerModel power(1.2, budget);
+  const auto pr = power.modulator(3e-6, false);
+  std::cout << "\nPower at 1.2 V with halved branch currents: "
+            << analysis::fmt(pr.total_mw, 2)
+            << " mW  (paper [15]: 0.8 mW)\n";
+
+  // ---- behavioral modulator at the reduced full scale ---------------
+  analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 2.45e6;
+  cfg.tone_hz = 2e3;
+  cfg.band_hz = 2.45e6 / 256.0;
+  cfg.fft_points = 1 << 15;
+  const double fs_lv = 3e-6;  // halved signal range at the low supply
+  std::uint64_t seed = 40;
+  const auto sweep = analysis::amplitude_sweep(
+      [&](double) {
+        const std::uint64_t s = seed++;
+        return [s, fs_lv](const std::vector<double>& x) {
+          dsm::SiModulatorConfig mc;
+          mc.full_scale = fs_lv;
+          mc.cell.full_scale = 2.0 * fs_lv;
+          mc.cell.bias_current = 1.5e-6;
+          mc.cell.slew_knee = 3.5 * fs_lv;
+          mc.seed = s;
+          dsm::SiSigmaDeltaModulator m(mc);
+          auto y = m.run(x);
+          for (auto& v : y) v *= fs_lv;
+          return y;
+        };
+      },
+      analysis::level_grid(-70.0, -2.0, 4.0), fs_lv, cfg);
+
+  std::cout << "\nSimulated low-voltage modulator (3 uA full scale, OSR"
+               " 128):\n  dynamic range "
+            << analysis::fmt(sweep.dynamic_range_db, 1) << " dB = "
+            << analysis::fmt(sweep.dynamic_range_bits, 1)
+            << " bits, peak SNDR " << analysis::fmt(sweep.peak_sndr_db, 1)
+            << " dB\n";
+  std::cout
+      << "  The halved signal range costs ~6 dB against the unchanged\n"
+         "  thermal floor — the accuracy/supply trade the follow-up work"
+         " accepts.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension E6: MASH cascades vs the paper's single second-order loop.
+// Higher-order shaping is tempting (the quantization-limited DR at OSR
+// 128 would be 15+ bits), but MASH digital cancellation assumes exact
+// analog integrators — and the SI transmission leak breaks it.  This
+// bench quantifies why the single robust loop is the right call in SI.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "dsm/linear_model.hpp"
+#include "dsm/mash.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+using namespace si;
+
+namespace {
+
+double mash_sndr(int stages, double leak) {
+  dsm::MashConfig cfg;
+  cfg.stages = stages;
+  cfg.integrator_leak = leak;
+  const double fclk = 2.45e6;
+  const std::size_t n = 1 << 16;
+  const double f = dsp::coherent_frequency(1e3, fclk, n);
+  dsm::MashModulator m(cfg);
+  const auto x = dsp::sine(n, 0.5 * cfg.full_scale, f, fclk);
+  auto y = m.run(x);
+  for (auto& v : y) v *= cfg.full_scale;
+  const auto s = dsp::compute_power_spectrum(y, fclk);
+  dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f;
+  opt.band_hi_hz = fclk / 256.0;
+  return dsp::measure_tone(s, opt).sndr_db;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      std::cout, "Extension E6 - MASH cascades and SI leakage (OSR 128)");
+
+  analysis::Table t({"architecture", "ideal SNDR [dB]",
+                     "eps = 0.2 % SNDR [dB]", "eps = 1 % SNDR [dB]"});
+  for (int stages : {1, 2, 3}) {
+    t.add_row({"MASH, " + std::to_string(stages) +
+                   (stages == 1 ? " stage" : " stages"),
+               analysis::fmt(mash_sndr(stages, 0.0), 1),
+               analysis::fmt(mash_sndr(stages, 2e-3), 1),
+               analysis::fmt(mash_sndr(stages, 1e-2), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  theory: 2nd-order single-loop peak SQNR at OSR 128 = "
+            << analysis::fmt(dsm::theoretical_peak_sqnr_db(2, 128), 1)
+            << " dB, 3rd-order = "
+            << analysis::fmt(dsm::theoretical_peak_sqnr_db(3, 128), 1)
+            << " dB\n"
+            << "  The higher the cascade order, the harder the leakage"
+               " bites: with the SI\n  transmission error the MASH"
+               " advantage evaporates, while the paper's\n  single"
+               " second-order loop only sees a slightly lossy"
+               " integrator.  And the\n  chip is thermal-noise limited"
+               " at ~63 dB anyway (Fig. 7), so extra shaping\n  buys"
+               " nothing — two independent reasons for the paper's"
+               " architecture.\n";
+  return 0;
+}

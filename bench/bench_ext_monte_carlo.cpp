@@ -1,0 +1,94 @@
+// Extension E5: Monte-Carlo yield of the SI modulator across mismatch
+// draws — turning the paper's single-chip measurement into the question
+// a production team asks: what fraction of parts make 10 bits?
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/monte_carlo.hpp"
+#include "analysis/table.hpp"
+#include "dsm/modulator.hpp"
+#include "si/common_mode.hpp"
+
+using namespace si;
+
+namespace {
+
+double modulator_sndr(std::uint64_t seed, double mismatch_scale) {
+  analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 2.45e6;
+  cfg.tone_hz = 2e3;
+  cfg.band_hz = 2.45e6 / 256.0;
+  cfg.fft_points = 1 << 14;
+  auto dut = [&](const std::vector<double>& x) {
+    dsm::SiModulatorConfig mc;
+    mc.seed = seed;
+    mc.cell_mismatch_sigma *= mismatch_scale;
+    mc.coeff_mismatch_sigma *= mismatch_scale;
+    mc.dac_mismatch_sigma *= mismatch_scale;
+    mc.cmff.mirror_mismatch_sigma *= mismatch_scale;
+    dsm::SiSigmaDeltaModulator m(mc);
+    auto y = m.run(x);
+    for (auto& v : y) v *= mc.full_scale;
+    return y;
+  };
+  return analysis::run_tone_test(dut, 3e-6, cfg).metrics.sndr_db;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Extension E5 - Monte-Carlo yield (60 dies each)");
+
+  auto offset_na = [](std::uint64_t seed, double scale) {
+    dsm::SiModulatorConfig mc;
+    mc.seed = seed;
+    mc.cell_mismatch_sigma *= scale;
+    mc.coeff_mismatch_sigma *= scale;
+    mc.dac_mismatch_sigma *= scale;
+    mc.cmff.mirror_mismatch_sigma *= scale;
+    dsm::SiSigmaDeltaModulator m(mc);
+    double acc = 0.0;
+    const int n = 1 << 14;
+    for (int k = 0; k < n; ++k) acc += m.step(0.0);
+    return std::abs(acc / n * mc.full_scale) * 1e9;  // offset in nA
+  };
+
+  analysis::Table t({"mismatch scale", "SNDR mean [dB]", "SNDR sigma [dB]",
+                     "yield(SNDR >= 54 dB)", "offset p90 [nA]"});
+  for (double scale : {1.0, 3.0, 10.0}) {
+    const auto st = analysis::monte_carlo(
+        60, [&](std::uint64_t s) { return modulator_sndr(s, scale); }, 11);
+    const auto off = analysis::monte_carlo(
+        60, [&](std::uint64_t s) { return offset_na(s, scale); }, 23);
+    t.add_row({analysis::fmt(scale, 0) + "x",
+               analysis::fmt(st.mean, 1), analysis::fmt(st.sigma, 2),
+               analysis::fmt(100.0 * st.yield_above(54.0), 0) + " %",
+               analysis::fmt(off.percentile(0.9), 1)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "  SNDR yield is flat across mismatch: a 1-bit DAC has only two"
+         " levels and is\n  linear by construction, so mismatch maps to"
+         " offset/gain — visible in the\n  offset column — not to"
+         " distortion.  (The single-chip robustness the paper\n  relies"
+         " on, made quantitative.)\n";
+
+  // CMFF residual distribution — the mirror-matching spec.
+  analysis::Table t2({"mirror sigma", "|residual CM gain| p50", "p99"});
+  for (double mm : {1e-3, 2e-3, 5e-3}) {
+    const auto st = analysis::monte_carlo(2000, [mm](std::uint64_t s) {
+      cells::CmffParams p;
+      p.mirror_mismatch_sigma = mm;
+      return std::abs(cells::Cmff(p, s).residual_cm_gain());
+    });
+    t2.add_row({analysis::fmt(mm * 100, 2) + " %",
+                analysis::fmt(st.percentile(0.5) * 100, 3) + " %",
+                analysis::fmt(st.percentile(0.99) * 100, 3) + " %"});
+  }
+  std::cout << "\nCMFF residual vs mirror matching:\n";
+  t2.print(std::cout);
+  std::cout << "  (nominal 0.2 % matching keeps the residual CM under"
+               " ~1 % across process)\n";
+  return 0;
+}

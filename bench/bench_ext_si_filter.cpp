@@ -1,0 +1,75 @@
+// Extension E1: SI filtering (the application the paper's introduction
+// motivates, refs [1]-[3]).  A 100 kHz / Q=5 lowpass biquad built from
+// the paper's class-AB cells, and the effect of the cell transmission
+// error on the realized Q — the quantitative reason Fig. 1 boosts the
+// input conductance with GGAs.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "dsp/signal.hpp"
+#include "si/filter.hpp"
+
+using namespace si;
+
+namespace {
+
+double peak_gain(const cells::SiBiquadConfig& cfg) {
+  auto dut = [&](const std::vector<double>& x) {
+    cells::SiBiquad f(cfg);
+    return f.run_dm(x);
+  };
+  return cells::measure_magnitude_response(dut, {cfg.f0}, cfg.fclk, 0.2e-6,
+                                           1 << 15)[0];
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Extension E1 - SI biquad filter (100 kHz, Q = 5)");
+
+  // ---- frequency response with the paper's cell ---------------------
+  cells::SiBiquadConfig cfg;
+  cfg.f0 = 100e3;
+  cfg.q = 5.0;
+  cfg.cell = cells::MemoryCellParams::paper_class_ab();
+  auto dut = [&](const std::vector<double>& x) {
+    cells::SiBiquad f(cfg);
+    return f.run_dm(x);
+  };
+  const std::vector<double> freqs{20e3, 50e3, 80e3, 95e3,  100e3,
+                                  105e3, 120e3, 200e3, 500e3, 1e6};
+  const auto mags = cells::measure_magnitude_response(dut, freqs, cfg.fclk,
+                                                      0.2e-6, 1 << 14);
+  analysis::Table t({"freq [kHz]", "|H| measured [dB]", "|H| ideal [dB]"});
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    t.add_row({analysis::fmt(freqs[k] / 1e3, 0),
+               analysis::fmt(dsp::db_from_amplitude_ratio(mags[k]), 1),
+               analysis::fmt(dsp::db_from_amplitude_ratio(
+                                 cells::SiBiquad::ideal_magnitude(cfg,
+                                                                  freqs[k])),
+                             1)});
+  }
+  t.print(std::cout);
+
+  // ---- Q vs transmission error: the GGA's value ---------------------
+  analysis::Table t2({"eps per cell", "Q without GGA", "Q with GGA (x50)"});
+  for (double eps : {1e-3, 3e-3, 1e-2}) {
+    cells::SiBiquadConfig plain = cfg;
+    plain.cell = cells::MemoryCellParams::ideal();
+    plain.cell.base_transmission_error = eps;
+    plain.cell.gga_gain = 1.0;
+    cells::SiBiquadConfig boosted = plain;
+    boosted.cell.gga_gain = 50.0;
+    t2.add_row({analysis::fmt(eps * 100, 2) + " %",
+                analysis::fmt(peak_gain(plain), 2),
+                analysis::fmt(peak_gain(boosted), 2)});
+  }
+  std::cout << "\nRealized resonance gain (target Q = 5):\n";
+  t2.print(std::cout);
+  std::cout << "  The cell leak adds parasitic damping ~ 2 eps fclk /"
+               " (2 pi f0) to the loop;\n  the GGA divides eps by its"
+               " gain and restores the response — the filtering-side\n"
+               "  justification for the Fig. 1 input stage.\n";
+  return 0;
+}

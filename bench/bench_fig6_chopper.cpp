@@ -1,0 +1,97 @@
+// Fig. 6: measured power spectra of the chopper-stabilized SI modulator,
+// (a) before and (b) after the output chopper multiplication.
+// Paper: before de-chopping the signal sits at high frequency (near
+// fs/2); after de-chopping it returns to baseband; THD = -62 dB and
+// SNR = 58 dB in 10 kHz; residual low-frequency noise in (b) comes from
+// the input interface circuit (it enters before the input chopper).
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/table.hpp"
+#include "dsm/modulator.hpp"
+
+using namespace si;
+
+int main() {
+  analysis::print_banner(
+      std::cout, "Fig. 6 - chopper-stabilized modulator spectra (64K FFT)");
+
+  const std::size_t n = 1 << 16;
+  const double fclk = 2.45e6;
+  const double f = dsp::coherent_frequency(2e3, fclk, n);
+  const double amp = 3e-6;  // -6 dB of 6 uA
+  const std::size_t settle = 4096;
+
+  dsm::SiModulatorConfig mc;
+  mc.chopper = true;
+  // The measurement front-end adds 1/f noise before the input chopper —
+  // the component visible at low frequency in Fig. 6(b).
+  mc.input_interface_flicker_rms = 3e-9;
+  dsm::SiSigmaDeltaModulator m(mc);
+
+  const auto x = dsp::sine(n + settle, amp, f, fclk);
+  auto taps = m.run_with_taps(x);
+  for (auto* v : {&taps.output, &taps.pre_chopper}) {
+    v->erase(v->begin(), v->begin() + static_cast<std::ptrdiff_t>(settle));
+    for (auto& s : *v) s *= mc.full_scale;
+  }
+
+  const auto spec_pre = dsp::compute_power_spectrum(taps.pre_chopper, fclk);
+  const auto spec_post = dsp::compute_power_spectrum(taps.output, fclk);
+
+  // Where does the signal energy sit in each tap?
+  auto band_db = [&](const dsp::PowerSpectrum& s, double lo, double hi) {
+    const double ref = 6e-6 * 6e-6 / 2.0;
+    return dsp::db_from_power_ratio(s.raw_band_sum(lo, hi) / ref + 1e-30);
+  };
+  const double half = fclk / 2.0;
+
+  analysis::Table t({"band", "(a) pre-chopper [dBFS]", "(b) output [dBFS]"});
+  t.add_row({"baseband 0-10 kHz", analysis::fmt(band_db(spec_pre, 300.0, 10e3), 1),
+             analysis::fmt(band_db(spec_post, 300.0, 10e3), 1)});
+  t.add_row({"fs/2 -+ 10 kHz",
+             analysis::fmt(band_db(spec_pre, half - 10e3, half), 1),
+             analysis::fmt(band_db(spec_post, half - 10e3, half), 1)});
+  t.print(std::cout);
+  std::cout << "  (the signal moves from fs/2 before de-chopping to baseband"
+               " after, as in the paper)\n";
+
+  // Baseband metrics after the output chopper (Fig. 6b / Table 2).
+  dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f;
+  opt.band_hi_hz = 10e3;
+  const auto metrics = dsp::measure_tone(spec_post, opt);
+  std::cout << "\nMetrics after output chopper (-6 dB input, 10 kHz band):\n"
+            << "  THD  = " << analysis::fmt(metrics.thd_db, 1)
+            << " dB   (paper: -62 dB)\n"
+            << "  SNR  = " << analysis::fmt(metrics.snr_db, 1)
+            << " dB   (paper:  58 dB)\n";
+
+  // The pre-chopper tap should hold the tone at fs/2 - f.
+  dsp::ToneMeasurementOptions pre_opt;
+  pre_opt.fundamental_hz = half - f;
+  pre_opt.band_lo_hz = half - 10e3;
+  pre_opt.band_hi_hz = half;
+  const auto pre_metrics = dsp::measure_tone(spec_pre, pre_opt);
+  std::cout << "  pre-chopper tone found at "
+            << analysis::fmt(pre_metrics.fundamental_hz / 1e6, 4)
+            << " MHz (fs/2 - f = "
+            << analysis::fmt((half - f) / 1e6, 4) << " MHz)\n";
+
+  // Residual low-frequency interface noise in (b): compare output noise
+  // below 1 kHz with and without the interface contribution.
+  dsm::SiModulatorConfig clean = mc;
+  clean.input_interface_flicker_rms = 0.0;
+  dsm::SiSigmaDeltaModulator m2(clean);
+  auto clean_out = m2.run(x);
+  clean_out.erase(clean_out.begin(),
+                  clean_out.begin() + static_cast<std::ptrdiff_t>(settle));
+  for (auto& s : clean_out) s *= mc.full_scale;
+  const auto spec_clean = dsp::compute_power_spectrum(clean_out, fclk);
+  std::cout << "  low-frequency (0.3-1 kHz) noise, with interface noise: "
+            << analysis::fmt(band_db(spec_post, 300.0, 1e3), 1)
+            << " dBFS, without: "
+            << analysis::fmt(band_db(spec_clean, 300.0, 1e3), 1)
+            << " dBFS  (paper: LF noise mainly from the input interface)\n";
+  return 0;
+}

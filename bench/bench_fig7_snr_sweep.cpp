@@ -1,0 +1,93 @@
+// Fig. 7: measured signal/(noise+THD) versus input level for the SI
+// delta-sigma modulator and its chopper-stabilized variant.
+// Paper conditions: 2 kHz signal, 2.45 MHz clock, OSR 128 (9.6 kHz
+// band), 0-dB level 6 uA.  Paper result: ~10.5-bit (63 dB) dynamic
+// range for BOTH modulators — the chopper gives no advantage because
+// the floor is white thermal noise and the second-generation cells
+// already suppress 1/f by correlated double sampling.
+#include <iostream>
+
+#include "analysis/measure.hpp"
+#include "analysis/plot.hpp"
+#include "analysis/table.hpp"
+#include "dsm/linear_model.hpp"
+#include "dsm/modulator.hpp"
+
+using namespace si;
+
+namespace {
+
+analysis::StreamProcessor make_modulator(bool chopper, double full_scale,
+                                         std::uint64_t seed) {
+  return [chopper, full_scale, seed](const std::vector<double>& x) {
+    dsm::SiModulatorConfig cfg;
+    cfg.chopper = chopper;
+    cfg.seed = seed;
+    dsm::SiSigmaDeltaModulator m(cfg);
+    auto y = m.run(x);
+    for (auto& v : y) v *= full_scale;
+    return y;
+  };
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Fig. 7 - SNDR vs input level (OSR 128, 2 kHz)");
+  const double kFullScale = 6e-6;  // the paper's 0-dB level
+
+  analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 2.45e6;
+  cfg.tone_hz = 2e3;
+  cfg.band_hz = 2.45e6 / (2.0 * 128.0);  // OSR 128 -> 9.57 kHz
+  cfg.fft_points = 1 << 15;
+
+  const auto levels = analysis::level_grid(-70.0, 0.0, 5.0);
+
+  std::uint64_t seed = 7;
+  const auto sweep_plain = analysis::amplitude_sweep(
+      [&](double) { return make_modulator(false, kFullScale, seed++); },
+      levels, kFullScale, cfg);
+  seed = 107;
+  const auto sweep_chop = analysis::amplitude_sweep(
+      [&](double) { return make_modulator(true, kFullScale, seed++); },
+      levels, kFullScale, cfg);
+
+  analysis::Table t({"level [dB]", "non-chopper SNDR [dB]",
+                     "chopper SNDR [dB]"});
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    t.add_row({analysis::fmt(levels[k], 0),
+               analysis::fmt(sweep_plain.points[k].sndr_db, 1),
+               analysis::fmt(sweep_chop.points[k].sndr_db, 1)});
+  }
+  t.print(std::cout);
+
+  // The Fig. 7 curve itself (non-chopper trace).
+  std::vector<double> sndr;
+  for (const auto& p : sweep_plain.points) sndr.push_back(p.sndr_db);
+  analysis::AsciiChartOptions chart;
+  chart.width = 60;
+  chart.height = 14;
+  chart.x_label = "input level [dB rel. 6 uA]";
+  chart.y_label = "SNDR [dB]";
+  std::cout << "\n";
+  analysis::ascii_chart(std::cout, levels, sndr, chart);
+
+  std::cout << "\nDynamic range:\n"
+            << "  non-chopper : " << analysis::fmt(sweep_plain.dynamic_range_db, 1)
+            << " dB = " << analysis::fmt(sweep_plain.dynamic_range_bits, 1)
+            << " bits  (paper: ~63 dB = 10.5 bits)\n"
+            << "  chopper     : " << analysis::fmt(sweep_chop.dynamic_range_db, 1)
+            << " dB = " << analysis::fmt(sweep_chop.dynamic_range_bits, 1)
+            << " bits  (paper: ~10.5 bits, no chopper advantage)\n";
+
+  std::cout << "\nBudget check (paper Sec. V):\n"
+            << "  noise-limited DR for 33 nA rms, 6 uA FS, OSR 128 : "
+            << analysis::fmt(dsm::noise_limited_dr_db(33e-9, 6e-6, 128.0), 1)
+            << " dB (paper: 66 dB expected, 63 dB measured)\n"
+            << "  quantization-limited DR (2nd order, OSR 128)     : "
+            << analysis::fmt(dsm::theoretical_peak_sqnr_db(2, 128.0), 1)
+            << " dB (paper: 'over 13 bits' if quantization-limited)\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// P1: engine microbenchmarks (google-benchmark) — the computational
+// substrate costs: FFT, MNA factor/solve, transient stepping, behavioral
+// modulator and delay-line throughput.
+#include <benchmark/benchmark.h>
+
+#include "dsm/adc.hpp"
+#include "dsm/modulator.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "linalg/lu.hpp"
+#include "si/delay_line.hpp"
+#include "si/filter.hpp"
+#include "si/netlists.hpp"
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+void BM_Fft64k(benchmark::State& state) {
+  const auto x = si::dsp::white_noise(1 << 16, 1.0, 1);
+  std::vector<si::dsp::cplx> buf(x.begin(), x.end());
+  for (auto _ : state) {
+    auto y = buf;
+    si::dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft64k);
+
+void BM_PowerSpectrum64k(benchmark::State& state) {
+  const auto x = si::dsp::white_noise(1 << 16, 1.0, 2);
+  for (auto _ : state) {
+    auto s = si::dsp::compute_power_spectrum(x, 1.0);
+    benchmark::DoNotOptimize(s.power.data());
+  }
+}
+BENCHMARK(BM_PowerSpectrum64k);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  si::dsp::Xoshiro256 rng(3);
+  si::linalg::Matrix a(n, n);
+  si::linalg::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.normal();
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += 8.0;
+  }
+  for (auto _ : state) {
+    si::linalg::LuFactorization<double> lu(a);
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MemoryPairDcOp(benchmark::State& state) {
+  for (auto _ : state) {
+    si::spice::Circuit c;
+    c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+    si::cells::netlists::MemoryPairOptions opt;
+    si::cells::netlists::build_class_ab_memory_pair(c, opt, "m_");
+    auto r = si::spice::dc_operating_point(c);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+BENCHMARK(BM_MemoryPairDcOp);
+
+void BM_TransientClockPeriod(benchmark::State& state) {
+  for (auto _ : state) {
+    si::spice::Circuit c;
+    c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+    si::cells::netlists::MemoryPairOptions opt;
+    si::cells::netlists::build_class_ab_memory_pair(c, opt, "m_");
+    si::spice::TransientOptions topt;
+    topt.t_stop = opt.clock_period;
+    topt.dt = opt.clock_period / 500.0;
+    si::spice::Transient tr(c, topt);
+    auto res = tr.run();
+    benchmark::DoNotOptimize(res.time.data());
+  }
+}
+BENCHMARK(BM_TransientClockPeriod);
+
+void BM_SiModulatorSamples(benchmark::State& state) {
+  si::dsm::SiModulatorConfig cfg;
+  si::dsm::SiSigmaDeltaModulator m(cfg);
+  const auto x = si::dsp::sine(4096, 3e-6, 0.001, 1.0);
+  for (auto _ : state) {
+    for (double v : x) benchmark::DoNotOptimize(m.step(v));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_SiModulatorSamples);
+
+void BM_DelayLineSamples(benchmark::State& state) {
+  si::cells::DelayLineConfig cfg;
+  si::cells::DelayLine line(cfg);
+  const auto x = si::dsp::sine(4096, 8e-6, 0.001, 1.0);
+  for (auto _ : state) {
+    for (double v : x)
+      benchmark::DoNotOptimize(
+          line.process(si::cells::Diff::from_dm_cm(v, 0.0)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_DelayLineSamples);
+
+void BM_BiquadSamples(benchmark::State& state) {
+  si::cells::SiBiquadConfig cfg;
+  si::cells::SiBiquad f(cfg);
+  const auto x = si::dsp::sine(4096, 1e-6, 0.001, 1.0);
+  for (auto _ : state) {
+    for (double v : x)
+      benchmark::DoNotOptimize(f.step(si::cells::Diff::from_dm_cm(v, 0.0)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_BiquadSamples);
+
+void BM_AdcConvert(benchmark::State& state) {
+  si::dsm::SiAdcConfig cfg;
+  si::dsm::SiAdc adc(cfg);
+  const auto x = si::dsp::sine(4096, 3e-6, 0.001, 1.0);
+  for (auto _ : state) {
+    auto pcm = adc.convert(x);
+    benchmark::DoNotOptimize(pcm.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_AdcConvert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Driving the circuit simulator from a SPICE-style text deck: the Fig. 1
+// class-AB memory pair described as a netlist, then analyzed with DC,
+// AC and transient runs — the workflow of a user who prefers decks over
+// the C++ builder API.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/parser.hpp"
+#include "spice/transient.hpp"
+
+int main() {
+  using namespace si;
+
+  const char* deck = R"(
+* Fig. 1 class-AB memory pair, diode-connected (sampling phase)
+.model nmem NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmem PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+Vdd vdd 0 DC 3.3
+MN  d gn 0   nmem W=2u L=20u
+MP  d gp vdd pmem W=5u L=20u
+Sn  d gn DC 3.3 100 1e12   ; sampling switches held closed
+Sp  d gp DC 3.3 100 1e12
+Iin 0 d SIN(0 8u 5k)       ; 8 uA signal current into the cell
+.end
+)";
+
+  spice::Circuit c = spice::parse_netlist(deck);
+
+  analysis::print_banner(std::cout, "SPICE deck demo - class-AB memory pair");
+
+  // DC operating point.
+  spice::dc_operating_point(c);
+  const auto* mn = dynamic_cast<const spice::Mosfet*>(c.find("mn"));
+  const auto* mp = dynamic_cast<const spice::Mosfet*>(c.find("mp"));
+  std::cout << "Quiescent point: I(MN) = "
+            << analysis::fmt_eng(mn->id(), "A", 2) << ", I(MP) = "
+            << analysis::fmt_eng(mp->id(), "A", 2) << ", v(d) = "
+            << analysis::fmt(1.65, 2) << " V nominal\n";
+
+  // Small-signal input impedance across frequency.
+  {
+    spice::Circuit c2 = spice::parse_netlist(deck);
+    spice::dc_operating_point(c2);
+    auto* iin = dynamic_cast<spice::CurrentSource*>(c2.find("iin"));
+    iin->set_ac_magnitude(1.0);
+    const auto freqs = spice::log_space(1e3, 10e6, 2);
+    const auto ac = spice::ac_analysis(c2, freqs);
+    analysis::Table t({"freq", "Zin"});
+    for (std::size_t k = 0; k < freqs.size(); k += 3)
+      t.add_row({analysis::fmt_eng(freqs[k], "Hz", 1),
+                 analysis::fmt_eng(std::abs(ac.voltage(c2, k, c2.node("d"))),
+                                   "ohm", 1)});
+    std::cout << "\nInput impedance (diode-connected pair):\n";
+    t.print(std::cout);
+  }
+
+  // Transient: the cell absorbing the 8 uA 5 kHz signal.
+  spice::Circuit c3 = spice::parse_netlist(deck);
+  spice::TransientOptions opt;
+  opt.t_stop = 200e-6;  // one signal period at 5 kHz
+  opt.dt = 100e-9;
+  spice::Transient tr(c3, opt);
+  tr.probe_voltage("d");
+  const auto res = tr.run();
+  double vmin = 1e9, vmax = -1e9;
+  for (double v : res.signal("v(d)")) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  std::cout << "\nTransient with the 8 uA / 5 kHz input: v(d) swings "
+            << analysis::fmt(vmin, 3) << " .. " << analysis::fmt(vmax, 3)
+            << " V\n(the gate node rides the class-AB re-biasing as the"
+               " signal exceeds the 3.7 uA quiescent).\n";
+  return 0;
+}

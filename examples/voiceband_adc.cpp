@@ -1,0 +1,73 @@
+// Voiceband A/D conversion — the application class the paper targets
+// ("real-time signal processing systems, fully utilizing inexpensive
+// CMOS process").  A complete signal chain:
+//
+//   analog sine -> SI delta-sigma modulator (Fig. 3a) -> CIC decimator
+//   -> FIR compensation/decimation -> PCM samples at 19.1 kHz
+//
+// and an SNR measurement on the decimated output.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "dsm/modulator.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+int main() {
+  using namespace si;
+
+  const double fclk = 2.45e6;
+  const std::size_t n = 1 << 19;  // ~0.21 s of modulator bits
+  const double f_tone = dsp::coherent_frequency(1e3, fclk, n);
+  const double amp = 3e-6;  // -6 dBFS of the 6 uA full scale
+
+  // 1. Modulate.
+  dsm::SiModulatorConfig cfg;
+  dsm::SiSigmaDeltaModulator modulator(cfg);
+  const auto x = dsp::sine(n, amp, f_tone, fclk);
+  auto bits = modulator.run(x);
+  for (auto& b : bits) b *= cfg.full_scale;
+
+  // 2. First decimation stage: order-3 CIC by 32 (an order-(L+1) CIC
+  //    fully suppresses the shaped noise of an order-L modulator).
+  dsp::CicDecimator cic(3, 32);
+  const auto stage1 = cic.process(bits);
+  const double fs1 = fclk / 32.0;  // 76.6 kHz
+
+  // 3. Second stage: sharp FIR lowpass + decimate by 4 -> 19.1 kHz PCM.
+  const auto fir = dsp::design_lowpass_fir(255, 0.10);
+  auto pcm = dsp::decimate(stage1, 4, fir);
+  const double fs2 = fs1 / 4.0;
+
+  // 4. Measure the decimated output.
+  pcm.resize(dsp::next_power_of_two(pcm.size()) / 2);  // power-of-two cut
+  const auto spec = dsp::compute_power_spectrum(pcm, fs2);
+  dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f_tone;
+  opt.band_hi_hz = 3.4e3;  // voiceband
+  const auto m = dsp::measure_tone(spec, opt);
+
+  analysis::print_banner(std::cout, "Voiceband SI ADC signal chain");
+  analysis::Table t({"stage", "rate", "samples"});
+  t.add_row({"modulator bits", analysis::fmt_eng(fclk, "Hz", 2),
+             std::to_string(n)});
+  t.add_row({"after CIC (3rd order, /32)", analysis::fmt_eng(fs1, "Hz", 2),
+             std::to_string(stage1.size())});
+  t.add_row({"after FIR (/4)", analysis::fmt_eng(fs2, "Hz", 2),
+             std::to_string(pcm.size())});
+  t.print(std::cout);
+
+  std::cout << "\nDecimated-output metrics (-6 dBFS, 1 kHz tone, 3.4 kHz"
+               " band):\n"
+            << "  SNR  = " << analysis::fmt(m.snr_db, 1) << " dB\n"
+            << "  THD  = " << analysis::fmt(m.thd_db, 1) << " dB\n"
+            << "  SNDR = " << analysis::fmt(m.sndr_db, 1) << " dB ("
+            << analysis::fmt(m.enob_bits, 1) << " effective bits)\n"
+            << "\nThe narrower voiceband raises the effective OSR, so the"
+               " chain delivers\nmore resolution here than the 9.6 kHz"
+               " band of Table 2.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "analysis/measure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace si::analysis {
+
+ToneTestResult run_tone_test(const StreamProcessor& dut, double amplitude,
+                             const ToneTestConfig& cfg) {
+  if (!dsp::is_power_of_two(cfg.fft_points))
+    throw std::invalid_argument("run_tone_test: fft_points must be 2^k");
+  const double f = cfg.coherent_tone_hz();
+  const std::size_t total = cfg.fft_points + cfg.settle_samples;
+  const std::vector<double> x =
+      dsp::sine(total, amplitude, f, cfg.clock_hz);
+  std::vector<double> y = dut(x);
+  if (y.size() != total)
+    throw std::runtime_error("run_tone_test: DUT changed the stream length");
+  // Drop the settling head, keep exactly fft_points samples.
+  y.erase(y.begin(),
+          y.begin() + static_cast<std::ptrdiff_t>(cfg.settle_samples));
+
+  ToneTestResult r;
+  r.amplitude = amplitude;
+  r.tone_hz = f;
+  r.spectrum = dsp::compute_power_spectrum(y, cfg.clock_hz, cfg.window);
+  dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f;
+  opt.band_hi_hz = cfg.band_hz;
+  r.metrics = dsp::measure_tone(r.spectrum, opt);
+  return r;
+}
+
+SweepResult amplitude_sweep(
+    const std::function<StreamProcessor(double amplitude)>& make_dut,
+    const std::vector<double>& levels_db, double full_scale_amps,
+    const ToneTestConfig& cfg) {
+  SweepResult r;
+  r.points.reserve(levels_db.size());
+  std::vector<double> sndr;
+  for (double level : levels_db) {
+    const double amp =
+        full_scale_amps * dsp::amplitude_ratio_from_db(level);
+    const ToneTestResult t = run_tone_test(make_dut(amp), amp, cfg);
+    SweepPoint p;
+    p.level_db = level;
+    p.snr_db = t.metrics.snr_db;
+    p.thd_db = t.metrics.thd_db;
+    p.sndr_db = t.metrics.sndr_db;
+    r.points.push_back(p);
+    sndr.push_back(p.sndr_db);
+    if (p.sndr_db > r.peak_sndr_db) {
+      r.peak_sndr_db = p.sndr_db;
+      r.peak_sndr_level_db = level;
+    }
+  }
+  r.dynamic_range_db = dsp::dynamic_range_db(levels_db, sndr);
+  r.dynamic_range_bits = (r.dynamic_range_db - 1.76) / 6.02;
+  return r;
+}
+
+TwoToneResult run_two_tone_test(const StreamProcessor& dut,
+                                double amplitude_per_tone,
+                                const TwoToneConfig& cfg) {
+  if (!dsp::is_power_of_two(cfg.fft_points))
+    throw std::invalid_argument("run_two_tone_test: fft_points must be 2^k");
+  const double f1 =
+      dsp::coherent_frequency(cfg.f1_hz, cfg.clock_hz, cfg.fft_points);
+  double f2 = dsp::coherent_frequency(cfg.f2_hz, cfg.clock_hz, cfg.fft_points);
+  if (f1 == f2)
+    throw std::invalid_argument("run_two_tone_test: tones coincide");
+  const std::size_t total = cfg.fft_points + cfg.settle_samples;
+  const auto x = dsp::multitone(
+      total, {{amplitude_per_tone, f1, 0.0}, {amplitude_per_tone, f2, 1.0}},
+      cfg.clock_hz);
+  auto y = dut(x);
+  if (y.size() != total)
+    throw std::runtime_error("run_two_tone_test: DUT changed stream length");
+  y.erase(y.begin(),
+          y.begin() + static_cast<std::ptrdiff_t>(cfg.settle_samples));
+  const auto s = dsp::compute_power_spectrum(y, cfg.clock_hz, cfg.window);
+
+  const int hw = dsp::leakage_halfwidth(cfg.window);
+  auto cluster = [&](double f) {
+    const auto k0 = static_cast<long long>(s.bin_of(f));
+    double p = 0.0;
+    for (long long k = k0 - hw; k <= k0 + hw; ++k)
+      if (k >= 0 && k < static_cast<long long>(s.power.size()))
+        p += s.power[static_cast<std::size_t>(k)];
+    return p;
+  };
+
+  TwoToneResult r;
+  r.f1_hz = f1;
+  r.f2_hz = f2;
+  r.tone_power = 0.5 * (cluster(f1) + cluster(f2));
+  r.imd3_power =
+      cluster(std::abs(2.0 * f1 - f2)) + cluster(std::abs(2.0 * f2 - f1));
+  r.imd3_db =
+      dsp::db_from_power_ratio((r.imd3_power + 1e-300) / (r.tone_power + 1e-300));
+  return r;
+}
+
+std::vector<double> level_grid(double lo_db, double hi_db, double step_db) {
+  if (step_db <= 0 || hi_db < lo_db)
+    throw std::invalid_argument("level_grid: bad range");
+  std::vector<double> out;
+  for (double l = lo_db; l <= hi_db + 1e-9; l += step_db) out.push_back(l);
+  return out;
+}
+
+}  // namespace si::analysis

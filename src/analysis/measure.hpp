@@ -1,0 +1,97 @@
+// Measurement pipelines reproducing the paper's lab setup in software:
+// a 64K-point Blackman-windowed FFT of the output stream, in-band
+// SNR/THD extraction, and amplitude sweeps for the Fig. 7 dynamic-range
+// curves.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace si::analysis {
+
+/// A single-tone measurement setup.
+struct ToneTestConfig {
+  std::size_t fft_points = 1 << 16;  ///< the paper's 64K-point FFT
+  dsp::WindowType window = dsp::WindowType::kBlackman;
+  double clock_hz = 2.45e6;          ///< sample rate of the stream
+  double tone_hz = 2e3;              ///< requested tone (snapped coherent)
+  double band_hz = 10e3;             ///< SNR/THD measurement bandwidth
+  std::size_t settle_samples = 4096; ///< discarded at the head
+
+  /// The coherent tone frequency actually used.
+  double coherent_tone_hz() const {
+    return dsp::coherent_frequency(tone_hz, clock_hz, fft_points);
+  }
+};
+
+/// Runs one tone measurement through a device-under-test functor that
+/// maps stimulus samples to output samples (a modulator, delay line, ...).
+/// The stimulus is `amplitude * sin(2 pi f t)` at the coherent frequency.
+struct ToneTestResult {
+  dsp::ToneMetrics metrics;
+  dsp::PowerSpectrum spectrum;
+  double amplitude = 0.0;
+  double tone_hz = 0.0;
+};
+
+using StreamProcessor =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+ToneTestResult run_tone_test(const StreamProcessor& dut, double amplitude,
+                             const ToneTestConfig& cfg);
+
+/// Amplitude sweep: runs the tone test across input levels (dB relative
+/// to `full_scale_amps`) and extracts the dynamic range — Fig. 7.
+struct SweepPoint {
+  double level_db = 0.0;
+  double snr_db = 0.0;
+  double thd_db = 0.0;
+  double sndr_db = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  double dynamic_range_db = 0.0;
+  double dynamic_range_bits = 0.0;
+  double peak_sndr_db = 0.0;
+  double peak_sndr_level_db = 0.0;
+};
+
+/// `make_dut` builds a fresh device per level (so state/noise seeds are
+/// independent); the measurement uses `cfg` at each level.
+SweepResult amplitude_sweep(
+    const std::function<StreamProcessor(double amplitude)>& make_dut,
+    const std::vector<double>& levels_db, double full_scale_amps,
+    const ToneTestConfig& cfg);
+
+/// Convenience: evenly spaced levels [lo_db, hi_db] inclusive.
+std::vector<double> level_grid(double lo_db, double hi_db, double step_db);
+
+/// Two-tone intermodulation test: equal-amplitude tones at f1 and f2
+/// drive the DUT; the third-order products at 2f1-f2 and 2f2-f1 are the
+/// classic linearity metric for analog sampled-data blocks.
+struct TwoToneConfig {
+  std::size_t fft_points = 1 << 16;
+  dsp::WindowType window = dsp::WindowType::kBlackman;
+  double clock_hz = 5e6;
+  double f1_hz = 90e3;
+  double f2_hz = 110e3;
+  std::size_t settle_samples = 4096;
+};
+
+struct TwoToneResult {
+  double f1_hz = 0.0, f2_hz = 0.0;
+  double tone_power = 0.0;   ///< per-tone power (average of the two)
+  double imd3_power = 0.0;   ///< total power of the 2f1-f2 / 2f2-f1 pair
+  double imd3_db = 0.0;      ///< imd3 relative to one tone [dBc]
+};
+
+TwoToneResult run_two_tone_test(const StreamProcessor& dut,
+                                double amplitude_per_tone,
+                                const TwoToneConfig& cfg);
+
+}  // namespace si::analysis

@@ -1,0 +1,57 @@
+#include "analysis/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace si::analysis {
+
+double McStatistics::percentile(double p) const {
+  if (samples.empty())
+    throw std::logic_error("McStatistics: no samples");
+  if (p <= 0.0) return samples.front();
+  if (p >= 1.0) return samples.back();
+  const double pos = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+double McStatistics::yield_above(double threshold) const {
+  if (samples.empty()) return 0.0;
+  const auto it =
+      std::lower_bound(samples.begin(), samples.end(), threshold);
+  return static_cast<double>(samples.end() - it) /
+         static_cast<double>(samples.size());
+}
+
+McStatistics monte_carlo(int runs,
+                         const std::function<double(std::uint64_t)>& trial,
+                         std::uint64_t seed0) {
+  if (runs < 1) throw std::invalid_argument("monte_carlo: runs >= 1");
+  McStatistics st;
+  st.samples.reserve(static_cast<std::size_t>(runs));
+  for (int k = 0; k < runs; ++k) {
+    // Distinct, well-spread seeds.
+    const std::uint64_t seed =
+        seed0 * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k) * 0xD1B54A32D192ED03ULL + 1;
+    st.samples.push_back(trial(seed));
+  }
+  std::sort(st.samples.begin(), st.samples.end());
+  st.min = st.samples.front();
+  st.max = st.samples.back();
+  double s1 = 0.0, s2 = 0.0;
+  for (double v : st.samples) {
+    s1 += v;
+    s2 += v * v;
+  }
+  const double n = static_cast<double>(st.samples.size());
+  st.mean = s1 / n;
+  st.sigma = n > 1 ? std::sqrt(std::max(0.0, (s2 - n * st.mean * st.mean) /
+                                                  (n - 1.0)))
+                   : 0.0;
+  return st;
+}
+
+}  // namespace si::analysis

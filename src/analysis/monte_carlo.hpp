@@ -1,0 +1,35 @@
+// Monte-Carlo analysis over mismatch / noise seeds: the standard way an
+// analog team turns the library's per-instance models into yield
+// numbers (what fraction of manufactured modulators make 10 bits?).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace si::analysis {
+
+/// Summary statistics over Monte-Carlo trials.
+struct McStatistics {
+  std::vector<double> samples;  ///< sorted ascending
+  double mean = 0.0;
+  double sigma = 0.0;           ///< sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+
+  /// p in [0, 1]: linear-interpolated percentile.
+  double percentile(double p) const;
+
+  /// Fraction of trials with metric >= threshold (a yield).
+  double yield_above(double threshold) const;
+
+  std::size_t count() const { return samples.size(); }
+};
+
+/// Runs `trial(seed)` for `runs` distinct seeds derived from `seed0`
+/// and aggregates the returned metric.
+McStatistics monte_carlo(int runs,
+                         const std::function<double(std::uint64_t)>& trial,
+                         std::uint64_t seed0 = 1);
+
+}  // namespace si::analysis

@@ -1,0 +1,98 @@
+#include "analysis/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+
+namespace si::analysis {
+
+namespace {
+
+void render_grid(std::ostream& os, const std::vector<double>& ys,
+                 const AsciiChartOptions& opt, double x_lo, double x_hi,
+                 bool log_x) {
+  const int w = opt.width;
+  const int h = opt.height;
+  double y_lo = 1e300, y_hi = -1e300;
+  for (double v : ys) {
+    if (!std::isfinite(v)) continue;
+    y_lo = std::min(y_lo, v);
+    y_hi = std::max(y_hi, v);
+  }
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  const double span = y_hi - y_lo;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (int c = 0; c < w; ++c) {
+    const double v = ys[static_cast<std::size_t>(c)];
+    if (!std::isfinite(v)) continue;
+    int row = static_cast<int>(std::lround((v - y_lo) / span * (h - 1)));
+    row = std::clamp(row, 0, h - 1);
+    grid[static_cast<std::size_t>(h - 1 - row)]
+        [static_cast<std::size_t>(c)] = '*';
+  }
+
+  if (!opt.y_label.empty()) os << "  [" << opt.y_label << "]\n";
+  for (int r = 0; r < h; ++r) {
+    const double y_val = y_hi - span * r / (h - 1);
+    os << "  " << std::setw(9) << std::fixed << std::setprecision(1)
+       << y_val << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << "  " << std::string(9, ' ') << " +"
+     << std::string(static_cast<std::size_t>(w), '-') << "\n";
+  os << "  " << std::string(9, ' ') << "  "
+     << (log_x ? "log " : "") << (opt.x_label.empty() ? "x" : opt.x_label)
+     << ": " << x_lo << " .. " << x_hi << "\n";
+}
+
+}  // namespace
+
+void ascii_chart(std::ostream& os, const std::vector<double>& x,
+                 const std::vector<double>& y,
+                 const AsciiChartOptions& opt) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("ascii_chart: need matching x/y, >= 2 pts");
+  // Resample onto the chart columns by nearest x.
+  std::vector<double> cols(static_cast<std::size_t>(opt.width),
+                           std::nan(""));
+  const double x_lo = x.front(), x_hi = x.back();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    int c = static_cast<int>(std::lround((x[i] - x_lo) / (x_hi - x_lo) *
+                                         (opt.width - 1)));
+    c = std::clamp(c, 0, opt.width - 1);
+    auto& cell = cols[static_cast<std::size_t>(c)];
+    cell = std::isnan(cell) ? y[i] : std::max(cell, y[i]);
+  }
+  render_grid(os, cols, opt, x_lo, x_hi, false);
+}
+
+void ascii_spectrum(std::ostream& os, const dsp::PowerSpectrum& s,
+                    double ref_power, double f_lo, double f_hi,
+                    const AsciiChartOptions& opt) {
+  if (f_lo <= 0 || f_hi <= f_lo)
+    throw std::invalid_argument("ascii_spectrum: bad frequency range");
+  std::vector<double> cols(static_cast<std::size_t>(opt.width), -200.0);
+  const double lr = std::log(f_hi / f_lo);
+  for (std::size_t k = 1; k < s.power.size(); ++k) {
+    const double f = s.bin_frequency(k);
+    if (f < f_lo || f > f_hi) continue;
+    int c = static_cast<int>(std::lround(std::log(f / f_lo) / lr *
+                                         (opt.width - 1)));
+    c = std::clamp(c, 0, opt.width - 1);
+    const double db = dsp::db_from_power_ratio(s.power[k] / ref_power +
+                                               1e-300);
+    auto& cell = cols[static_cast<std::size_t>(c)];
+    cell = std::max(cell, std::max(db, -200.0));
+  }
+  AsciiChartOptions o = opt;
+  if (o.y_label.empty()) o.y_label = "dBFS";
+  if (o.x_label.empty()) o.x_label = "f [Hz]";
+  render_grid(os, cols, o, f_lo, f_hi, true);
+}
+
+}  // namespace si::analysis

@@ -1,0 +1,35 @@
+// ASCII plotting for bench output: log-frequency spectrum charts and
+// simple XY line charts rendered into the terminal, so every experiment
+// binary can show the *shape* of a result (Fig. 5's spectrum, Fig. 7's
+// SNDR curve) without external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dsp/spectrum.hpp"
+
+namespace si::analysis {
+
+struct AsciiChartOptions {
+  int width = 64;    ///< plot columns
+  int height = 16;   ///< plot rows
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders y(x) as an ASCII line chart.  The x values must be
+/// monotonically increasing; y is auto-scaled.
+void ascii_chart(std::ostream& os, const std::vector<double>& x,
+                 const std::vector<double>& y,
+                 const AsciiChartOptions& opt = {});
+
+/// Renders a power spectrum on log-frequency axes in dB relative to
+/// `ref_power`, binned to the chart width by per-bucket peak (the shape
+/// a spectrum analyzer shows).
+void ascii_spectrum(std::ostream& os, const dsp::PowerSpectrum& s,
+                    double ref_power, double f_lo, double f_hi,
+                    const AsciiChartOptions& opt = {});
+
+}  // namespace si::analysis

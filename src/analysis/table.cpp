@@ -1,0 +1,106 @@
+#include "analysis/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace si::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      write_csv_cell(os, row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_eng(double v, const std::string& unit, int precision) {
+  struct Scale {
+    double mul;
+    const char* prefix;
+  };
+  static const Scale scales[] = {{1e18, "a"}, {1e15, "f"}, {1e12, "p"},
+                                 {1e9, "n"},  {1e6, "u"},  {1e3, "m"},
+                                 {1.0, ""},   {1e-3, "k"}, {1e-6, "M"},
+                                 {1e-9, "G"}};
+  const double mag = std::abs(v);
+  if (mag == 0.0) return fmt(0.0, precision) + " " + unit;
+  for (const auto& s : scales) {
+    const double scaled = mag * s.mul;
+    if (scaled >= 1.0 && scaled < 1000.0) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(precision) << v * s.mul << " "
+         << s.prefix << unit;
+      return ss.str();
+    }
+  }
+  // Out of the engineering-prefix range: scientific notation.
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v << " " << unit;
+  return ss.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace si::analysis

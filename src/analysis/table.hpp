@@ -1,0 +1,43 @@
+// Fixed-width table formatting for the bench binaries, so every
+// experiment prints rows in the same style as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace si::analysis {
+
+/// Builds and prints a simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and an underlined header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-style CSV (cells with commas/quotes get quoted) —
+  /// for piping bench outputs into plotting tools.
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 2);
+
+/// Formats a value in engineering style with a unit (e.g. 3.3 -> "3.3 V",
+/// 6e-6 with unit "A" -> "6.00 uA").
+std::string fmt_eng(double v, const std::string& unit, int precision = 2);
+
+/// Prints a section banner for a bench experiment.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace si::analysis

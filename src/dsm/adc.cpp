@@ -1,0 +1,44 @@
+#include "dsm/adc.hpp"
+
+#include <cmath>
+
+#include "dsm/linear_model.hpp"
+
+namespace si::dsm {
+
+SiAdc::SiAdc(const SiAdcConfig& config)
+    : config_(config),
+      modulator_(config.modulator),
+      decimator_(config.decimator) {}
+
+std::vector<double> SiAdc::convert(const std::vector<double>& analog_in) {
+  std::vector<double> bits;
+  bits.reserve(analog_in.size());
+  for (double v : analog_in)
+    bits.push_back(static_cast<double>(modulator_.step(v)));
+  auto pcm = decimator_.process(bits);
+  for (auto& v : pcm) v *= config_.modulator.full_scale;
+  return pcm;
+}
+
+double SiAdc::expected_dr_bits() const {
+  const double osr =
+      static_cast<double>(config_.decimator.total_decimation());
+  // Dominated by the cell thermal floor (2 integrators, 2 halves each,
+  // input-referred through the first scaling mirror) vs the
+  // quantization limit — whichever binds.
+  const double cell_rms = config_.modulator.cell.thermal_noise_rms;
+  const double input_referred =
+      cell_rms * 2.0 / std::max(config_.modulator.b1, 1e-9);
+  const double thermal =
+      noise_limited_dr_db(input_referred, config_.modulator.full_scale, osr);
+  const double quant = theoretical_peak_sqnr_db(2, osr);
+  return bits_from_dr_db(std::min(thermal, quant));
+}
+
+void SiAdc::reset() {
+  modulator_.reset();
+  decimator_.reset();
+}
+
+}  // namespace si::dsm

@@ -1,0 +1,48 @@
+// Top-level SI analog-to-digital converter: the Fig. 3(a) (or chopper)
+// modulator driving the digital decimation chain.  This is the object a
+// downstream user instantiates: analog current samples in, PCM out.
+#pragma once
+
+#include <vector>
+
+#include "dsm/decimator.hpp"
+#include "dsm/modulator.hpp"
+
+namespace si::dsm {
+
+struct SiAdcConfig {
+  SiModulatorConfig modulator;
+  DecimatorChainConfig decimator;
+  double clock_hz = 2.45e6;
+};
+
+/// Complete oversampling converter.
+class SiAdc {
+ public:
+  explicit SiAdc(const SiAdcConfig& config);
+
+  /// Converts a block of analog input samples (differential current,
+  /// amps, at clock_hz) to PCM samples in amps at output_rate().
+  /// Feeding consecutive blocks continues the stream.
+  std::vector<double> convert(const std::vector<double>& analog_in);
+
+  double output_rate() const {
+    return config_.clock_hz /
+           static_cast<double>(config_.decimator.total_decimation());
+  }
+
+  /// Nominal resolution at the configured OSR, limited by the cell
+  /// thermal floor (see linear_model.hpp).
+  double expected_dr_bits() const;
+
+  void reset();
+
+  const SiAdcConfig& config() const { return config_; }
+
+ private:
+  SiAdcConfig config_;
+  SiSigmaDeltaModulator modulator_;
+  DecimatorChain decimator_;
+};
+
+}  // namespace si::dsm

@@ -1,0 +1,87 @@
+#include "dsm/decimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace si::dsm {
+
+int DecimatorChainConfig::cic_register_bits() const {
+  const double growth =
+      cic_order * std::log2(static_cast<double>(cic_decimation));
+  return 1 + static_cast<int>(std::ceil(growth));
+}
+
+DecimatorChain::DecimatorChain(const DecimatorChainConfig& config)
+    : config_(config),
+      cic_float_(config.cic_order, config.cic_decimation),
+      fir_(dsp::design_lowpass_fir(config.fir_taps, config.fir_cutoff)) {
+  if (config.fixed_point) {
+    if (config.cic_register_bits() > 62)
+      throw std::invalid_argument("DecimatorChain: CIC growth exceeds i64");
+    integrators_.assign(static_cast<std::size_t>(config.cic_order), 0);
+    combs_.assign(static_cast<std::size_t>(config.cic_order), 0);
+    // Quantize the FIR coefficients to fir_coeff_bits (sign + fraction).
+    const double q = std::ldexp(1.0, config.fir_coeff_bits - 1);
+    for (auto& h : fir_) h = std::round(h * q) / q;
+  }
+}
+
+void DecimatorChain::reset() {
+  cic_float_.reset();
+  integrators_.assign(integrators_.size(), 0);
+  combs_.assign(combs_.size(), 0);
+  phase_ = 0;
+}
+
+std::vector<double> DecimatorChain::process_cic_float(
+    const std::vector<double>& x) {
+  return cic_float_.process(x);
+}
+
+std::vector<double> DecimatorChain::process_cic_fixed(
+    const std::vector<double>& x) {
+  // Input +-1 mapped to +-1 LSB; exact integer arithmetic wraps only if
+  // the register width were exceeded (checked at construction).
+  std::vector<double> out;
+  out.reserve(x.size() / config_.cic_decimation + 1);
+  const double full_gain = std::pow(
+      static_cast<double>(config_.cic_decimation), config_.cic_order);
+  // Output truncation: keep cic_output_bits of the grown word.
+  const int drop_bits =
+      std::max(0, config_.cic_register_bits() - config_.cic_output_bits);
+  const double rescale =
+      std::ldexp(1.0, drop_bits) / full_gain;  // back to +-1 scale
+  for (double v : x) {
+    std::int64_t s = (v >= 0.0) ? 1 : -1;
+    for (auto& acc : integrators_) {
+      acc += s;
+      s = acc;
+    }
+    if (++phase_ == config_.cic_decimation) {
+      phase_ = 0;
+      for (auto& d : combs_) {
+        const std::int64_t prev = d;
+        d = s;
+        s -= prev;
+      }
+      out.push_back(static_cast<double>(s >> drop_bits) * rescale);
+    }
+  }
+  return out;
+}
+
+std::vector<double> DecimatorChain::process(const std::vector<double>& bits) {
+  std::vector<double> stage1 = config_.fixed_point
+                                   ? process_cic_fixed(bits)
+                                   : process_cic_float(bits);
+  std::vector<double> pcm =
+      dsp::decimate(stage1, config_.fir_decimation, fir_);
+  if (config_.fixed_point) {
+    // Round the FIR output to fir_data_bits.
+    const double q = std::ldexp(1.0, config_.fir_data_bits - 1);
+    for (auto& v : pcm) v = std::round(v * q) / q;
+  }
+  return pcm;
+}
+
+}  // namespace si::dsm

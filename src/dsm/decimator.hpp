@@ -1,0 +1,64 @@
+// The digital back-end of the oversampling ADC: a CIC first stage
+// followed by a compensating FIR, with optional fixed-point arithmetic
+// modelling (register growth per Hogenauer, quantized FIR coefficients
+// and data) — what the converter's on-chip decimator would actually
+// compute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/filter.hpp"
+
+namespace si::dsm {
+
+struct DecimatorChainConfig {
+  int cic_order = 3;              ///< order L+1 for an order-L modulator
+  std::size_t cic_decimation = 32;
+  std::size_t fir_taps = 255;     ///< odd
+  double fir_cutoff = 0.10;       ///< of the intermediate rate
+  std::size_t fir_decimation = 4;
+
+  /// Fixed-point modelling.  Input bits are the +-1 modulator stream
+  /// scaled to +-1 LSB; the CIC needs
+  /// input_bits + cic_order * log2(cic_decimation) register bits.
+  bool fixed_point = false;
+  int cic_output_bits = 16;   ///< truncation at the CIC output
+  int fir_coeff_bits = 16;    ///< FIR coefficient quantization
+  int fir_data_bits = 16;     ///< rounding applied to FIR output samples
+
+  std::size_t total_decimation() const {
+    return cic_decimation * fir_decimation;
+  }
+  /// Hogenauer register width for a 1-bit input [bits].
+  int cic_register_bits() const;
+};
+
+/// Two-stage decimator.  process() takes the modulator output stream
+/// (values in +-1 full scale) and returns PCM samples at
+/// rate fclk / total_decimation(), normalized to the same +-1 scale.
+class DecimatorChain {
+ public:
+  explicit DecimatorChain(const DecimatorChainConfig& config);
+
+  std::vector<double> process(const std::vector<double>& bits);
+
+  void reset();
+
+  const DecimatorChainConfig& config() const { return config_; }
+  const std::vector<double>& fir() const { return fir_; }
+
+ private:
+  std::vector<double> process_cic_float(const std::vector<double>& x);
+  std::vector<double> process_cic_fixed(const std::vector<double>& x);
+
+  DecimatorChainConfig config_;
+  dsp::CicDecimator cic_float_;
+  std::vector<double> fir_;          ///< (possibly quantized) taps
+  // Fixed-point CIC state.
+  std::vector<std::int64_t> integrators_;
+  std::vector<std::int64_t> combs_;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace si::dsm

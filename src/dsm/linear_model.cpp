@@ -1,0 +1,58 @@
+#include "dsm/linear_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace si::dsm {
+
+namespace {
+
+/// Simulates the linear loop: y[n] = i2[n] + e[n];
+/// i1[n+1] = i1[n] + b1 x[n] - a1 y[n]; i2[n+1] = i2[n] + b2 i1[n] - a2 y[n].
+std::vector<double> simulate_linear(const LoopCoefficients& k,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& e) {
+  std::vector<double> y(x.size());
+  double i1 = 0.0, i2 = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    y[n] = i2 + e[n];
+    const double i2_next = i2 + k.b2 * i1 - k.a2 * y[n];
+    const double i1_next = i1 + k.b1 * x[n] - k.a1 * y[n];
+    i1 = i1_next;
+    i2 = i2_next;
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> ntf_impulse(const LoopCoefficients& k, std::size_t n) {
+  std::vector<double> x(n, 0.0), e(n, 0.0);
+  if (n > 0) e[0] = 1.0;
+  return simulate_linear(k, x, e);
+}
+
+std::vector<double> stf_impulse(const LoopCoefficients& k, std::size_t n) {
+  std::vector<double> x(n, 0.0), e(n, 0.0);
+  if (n > 0) x[0] = 1.0;
+  return simulate_linear(k, x, e);
+}
+
+double theoretical_peak_sqnr_db(int order, double osr) {
+  const double l = static_cast<double>(order);
+  const double v = 1.5 * (2.0 * l + 1.0) *
+                   std::pow(osr, 2.0 * l + 1.0) /
+                   std::pow(std::numbers::pi, 2.0 * l);
+  return 10.0 * std::log10(v);
+}
+
+double noise_limited_dr_db(double noise_rms_amps, double full_scale_amps,
+                           double osr) {
+  const double signal = full_scale_amps * full_scale_amps / 2.0;
+  const double inband = noise_rms_amps * noise_rms_amps / osr;
+  return 10.0 * std::log10(signal / inband);
+}
+
+double bits_from_dr_db(double dr_db) { return (dr_db - 1.76) / 6.02; }
+
+}  // namespace si::dsm

@@ -1,0 +1,71 @@
+#include "dsm/mash.hpp"
+
+#include <stdexcept>
+
+namespace si::dsm {
+
+MashModulator::MashModulator(const MashConfig& config) : config_(config) {
+  if (config.stages < 1 || config.stages > 4)
+    throw std::invalid_argument("MashModulator: stages in 1..4");
+  reset();
+}
+
+void MashModulator::reset() {
+  const auto n = static_cast<std::size_t>(config_.stages);
+  states_.assign(n, 0.0);
+  delay_.assign(n, {});
+  diff_.assign(n, {});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Stage k output is delayed by (N-1-k) clocks and differentiated k
+    // times in the digital recombination network.
+    delay_[k].assign(n - 1 - k, 0.0);
+    diff_[k].assign(k, 0.0);
+  }
+}
+
+double MashModulator::step(double x) {
+  const double fs = config_.full_scale;
+  const auto n = static_cast<std::size_t>(config_.stages);
+  std::vector<double> y(n, 0.0);
+  double stage_in = x;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double i = states_[k];
+    const double yk = (i >= 0.0) ? 1.0 : -1.0;
+    y[k] = yk;
+    // Next stage digitizes the (negated) quantization error of this
+    // one: e_k = y_k*FS - i.
+    const double e = (yk * fs - i) * (1.0 + config_.interstage_gain_error);
+    // Analog integrator update, with the SI leak applied to the state.
+    states_[k] = (1.0 - config_.integrator_leak) * i + stage_in - yk * fs;
+    stage_in = -e;
+  }
+
+  // Digital recombination.
+  double out = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double v = y[k];
+    // k-fold first difference.
+    for (auto& h : diff_[k]) {
+      const double prev = h;
+      h = v;
+      v -= prev;
+    }
+    // (N-1-k)-clock delay.
+    for (auto& d : delay_[k]) {
+      const double prev = d;
+      d = v;
+      v = prev;
+    }
+    out += v;
+  }
+  return out;
+}
+
+std::vector<double> MashModulator::run(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(step(v));
+  return out;
+}
+
+}  // namespace si::dsm

@@ -1,0 +1,52 @@
+// MASH (multi-stage noise shaping) cascade — the standard route to
+// higher-order shaping without stability risk, built from first-order
+// loops: stage k+1 digitizes stage k's quantization error and a digital
+// differentiator network cancels everything but the last stage's error,
+// shaped (1 - z^-1)^N.
+//
+// The catch for switched-current circuits: the cancellation assumes the
+// analog integrators are exact.  The SI transmission leak (the paper's
+// eps) breaks the match and first-order-shaped residues of the early
+// quantization errors leak through — which is why a single robust
+// second-order loop (the paper's choice) suits SI better than a MASH.
+// `integrator_leak` exposes the knob; the extension bench quantifies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace si::dsm {
+
+struct MashConfig {
+  int stages = 2;            ///< 1..4 first-order stages
+  double full_scale = 6e-6;  ///< DAC reference [A]
+  /// Per-clock integrator state loss (the SI transmission error, e.g.
+  /// 2 eps per cell pair).  0 = ideal.
+  double integrator_leak = 0.0;
+  /// Relative gain error of the inter-stage error extraction.
+  double interstage_gain_error = 0.0;
+};
+
+/// Behavioral MASH cascade.  step() returns the recombined multi-level
+/// output in full-scale units (so a downstream filter sees the usual
+/// +-1-ish stream, now multi-level).
+class MashModulator {
+ public:
+  explicit MashModulator(const MashConfig& config);
+
+  double step(double x);
+  std::vector<double> run(const std::vector<double>& x);
+  void reset();
+
+  int stages() const { return config_.stages; }
+
+ private:
+  MashConfig config_;
+  std::vector<double> states_;      ///< analog integrator states [A]
+  // Digital recombination: per stage, a delay line and difference
+  // history.  y = sum_k z^{-(N-1-k)} (1 - z^-1)^k y_k.
+  std::vector<std::vector<double>> delay_;  ///< delay shift registers
+  std::vector<std::vector<double>> diff_;   ///< differentiator histories
+};
+
+}  // namespace si::dsm

@@ -1,0 +1,206 @@
+#include "dsm/modulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/elements.hpp"
+
+namespace si::dsm {
+
+cells::MemoryCellParams SiModulatorConfig::default_modulator_cell() {
+  cells::MemoryCellParams p = cells::MemoryCellParams::paper_class_ab();
+  // Internal states swing to roughly twice the 6 uA full-scale input
+  // (paper Sec. IV), so the cells are designed for a 12 uA range.
+  p.full_scale = 12e-6;
+  p.bias_current = 3e-6;
+  p.clip_factor = 2.5;  // clip at 30 uA: the modulator overloads near FS
+  p.slew_knee = 14e-6;
+  // The integrator cells see swings already scaled by the 0.5 input
+  // mirrors, and in-loop nonlinearity is partly noise-shaped; their
+  // injection nonlinearity is far below the delay line's input GGA.
+  p.ci_a3 = 1.2e-3;
+  p.thermal_noise_rms = 8e-9;
+  p.flicker_noise_rms = 25e-9;
+  return p;
+}
+
+namespace {
+
+cells::AccumulatorConfig stage_config(const SiModulatorConfig& c,
+                                      std::uint64_t salt) {
+  cells::AccumulatorConfig a;
+  a.cell = c.cell;
+  a.cell_mismatch_sigma = c.cell_mismatch_sigma;
+  a.use_cmff = true;
+  a.cmff = c.cmff;
+  a.seed = c.seed * 1000003 + salt;
+  return a;
+}
+
+}  // namespace
+
+SiSigmaDeltaModulator::SiSigmaDeltaModulator(const SiModulatorConfig& config)
+    : config_(config),
+      stage1_(stage_config(config, 1), config.chopper ? -1.0 : 1.0),
+      stage2_(stage_config(config, 2), config.chopper ? -1.0 : 1.0),
+      b1_(config.b1, config.coeff_mismatch_sigma, config.seed * 11 + 1),
+      a1_(config.a1, config.coeff_mismatch_sigma, config.seed * 11 + 2),
+      b2_(config.b2, config.coeff_mismatch_sigma, config.seed * 11 + 3),
+      a2_(config.a2, config.coeff_mismatch_sigma, config.seed * 11 + 4),
+      quantizer_(config.quantizer_offset, config.quantizer_hysteresis),
+      dac1_(config.full_scale, config.dac_mismatch_sigma,
+            config.dac_noise_rms, config.seed * 11 + 5),
+      dac2_(config.full_scale, config.dac_mismatch_sigma,
+            config.dac_noise_rms, config.seed * 11 + 6),
+      interface_noise_(config.input_interface_flicker_rms > 0
+                           ? config.input_interface_flicker_rms
+                           : 1.0,
+                       16, config.seed * 11 + 7) {}
+
+int SiSigmaDeltaModulator::step(double x_dm) {
+  double x = x_dm;
+  if (config_.input_interface_flicker_rms > 0.0)
+    x += interface_noise_.next();
+  if (config_.input_ci_a3 != 0.0) {
+    const double u = x / config_.full_scale;
+    x += config_.input_ci_a3 * config_.full_scale * u * u * u;
+  }
+
+  // Input chopper (multiplies by (-1)^n when enabled).
+  const double xc = config_.chopper ? x * chop_ : x;
+
+  // Quantize the second state (the decision for this clock).
+  double i2 = stage2_.output().dm();
+  if (config_.quantizer_dither_rms > 0.0)
+    i2 += dither_.normal(0.0, config_.quantizer_dither_rms);
+  yc_ = quantizer_.decide(i2);
+  const int y_out = config_.chopper ? yc_ * chop_ : yc_;
+
+  // Advance the loop: stage 2 must read stage 1's old output first
+  // (both integrators are delaying).
+  const cells::Diff fb2 = a2_.apply(dac2_.convert(yc_));
+  stage2_.step(b2_.apply(stage1_.output()) - fb2);
+
+  const cells::Diff fb1 = a1_.apply(dac1_.convert(yc_));
+  stage1_.step(b1_.apply(cells::Diff::from_dm_cm(xc, 0.0)) - fb1);
+
+  peak1_ = std::max(peak1_, std::abs(stage1_.output().dm()));
+  peak2_ = std::max(peak2_, std::abs(stage2_.output().dm()));
+
+  chop_ = -chop_;
+  return y_out;
+}
+
+std::vector<double> SiSigmaDeltaModulator::run(const std::vector<double>& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (double v : x) y.push_back(static_cast<double>(step(v)));
+  return y;
+}
+
+SiSigmaDeltaModulator::Taps SiSigmaDeltaModulator::run_with_taps(
+    const std::vector<double>& x) {
+  Taps t;
+  t.output.reserve(x.size());
+  t.pre_chopper.reserve(x.size());
+  for (double v : x) {
+    t.output.push_back(static_cast<double>(step(v)));
+    t.pre_chopper.push_back(static_cast<double>(pre_chopper_bit()));
+  }
+  return t;
+}
+
+void SiSigmaDeltaModulator::reset() {
+  stage1_.reset();
+  stage2_.reset();
+  quantizer_.reset();
+  chop_ = +1;
+  yc_ = +1;
+  peak1_ = peak2_ = 0.0;
+}
+
+IdealSecondOrderModulator::IdealSecondOrderModulator(double b1, double a1,
+                                                     double b2, double a2,
+                                                     double full_scale)
+    : b1_(b1), a1_(a1), b2_(b2), a2_(a2), fs_(full_scale) {}
+
+int IdealSecondOrderModulator::step(double x) {
+  const int y = (i2_ >= 0.0) ? +1 : -1;
+  const double dac = static_cast<double>(y) * fs_;
+  i2_ += b2_ * i1_ - a2_ * dac;
+  i1_ += b1_ * x - a1_ * dac;
+  return y;
+}
+
+std::vector<double> IdealSecondOrderModulator::run(
+    const std::vector<double>& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (double v : x) y.push_back(static_cast<double>(step(v)));
+  return y;
+}
+
+void IdealSecondOrderModulator::reset() { i1_ = i2_ = 0.0; }
+
+FirstOrderSiModulator::FirstOrderSiModulator(const SiModulatorConfig& config)
+    : config_(config),
+      stage_(stage_config(config, 9), +1.0),
+      b1_(config.b1, config.coeff_mismatch_sigma, config.seed * 13 + 1),
+      a1_(config.a1, config.coeff_mismatch_sigma, config.seed * 13 + 2),
+      quantizer_(config.quantizer_offset, config.quantizer_hysteresis),
+      dac_(config.full_scale, config.dac_mismatch_sigma, config.dac_noise_rms,
+           config.seed * 13 + 3) {}
+
+int FirstOrderSiModulator::step(double x_dm) {
+  double x = x_dm;
+  if (config_.input_ci_a3 != 0.0) {
+    const double u = x / config_.full_scale;
+    x += config_.input_ci_a3 * config_.full_scale * u * u * u;
+  }
+  double q_in = stage_.output().dm();
+  if (config_.quantizer_dither_rms > 0.0)
+    q_in += dither_.normal(0.0, config_.quantizer_dither_rms);
+  const int y = quantizer_.decide(q_in);
+  stage_.step(b1_.apply(cells::Diff::from_dm_cm(x, 0.0)) -
+              a1_.apply(dac_.convert(y)));
+  return y;
+}
+
+std::vector<double> FirstOrderSiModulator::run(const std::vector<double>& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (double v : x) y.push_back(static_cast<double>(step(v)));
+  return y;
+}
+
+void FirstOrderSiModulator::reset() {
+  stage_.reset();
+  quantizer_.reset();
+}
+
+ScBaselineModulator::ScBaselineModulator(double full_scale,
+                                         double sampling_cap_farads,
+                                         double signal_swing_volts,
+                                         std::uint64_t seed)
+    : core_(0.5, 0.5, 0.5, 0.5, full_scale), rng_(seed ^ 0x5C5C5C5C5C5C5C5CULL) {
+  // kT/C sampled twice per period (two phases), referred to an
+  // equivalent input current through the voltage-to-current scale.
+  const double v_rms = std::sqrt(2.0 * spice::kBoltzmann * 300.0 /
+                                 sampling_cap_farads);
+  noise_rms_ = v_rms * (full_scale / signal_swing_volts);
+}
+
+int ScBaselineModulator::step(double x) {
+  return core_.step(x + rng_.normal(0.0, noise_rms_));
+}
+
+std::vector<double> ScBaselineModulator::run(const std::vector<double>& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (double v : x) y.push_back(static_cast<double>(step(v)));
+  return y;
+}
+
+void ScBaselineModulator::reset() { core_.reset(); }
+
+}  // namespace si::dsm

@@ -1,0 +1,187 @@
+// Second-order SI delta-sigma modulators — Fig. 3 of the paper.
+//
+// (a) The conventional modulator: two delayed SI integrators with
+//     coefficient scaling for optimum signal swing, a 1-bit current
+//     quantizer, and current-source feedback DACs.
+// (b) The chopper-stabilized variant: the input is chopped to fs/2, the
+//     loop runs in the chopped domain (every integrator becomes its
+//     fs/2 image, H(z) = -z^-1/(1+z^-1), which the paper realizes as
+//     delayed differentiator stages), and the digital output is
+//     de-chopped.  Low-frequency noise entering the loop lands at fs/2
+//     in the final output instead of in the signal band.
+//
+// Both realize Y(z) = z^-2 X(z) + (1 - z^-1)^2 E(z)  (Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/quantizer.hpp"
+#include "si/blocks.hpp"
+
+namespace si::dsm {
+
+struct SiModulatorConfig {
+  /// Memory cell model used in both integrator stages.
+  cells::MemoryCellParams cell = default_modulator_cell();
+
+  /// Full-scale input current (the paper's "0-dB level" = 6 uA).
+  double full_scale = 6e-6;
+
+  /// Loop coefficients: i1 += b1*x - a1*y ; i2 += b2*i1 - a2*y.
+  /// The scaling keeps both internal swings slightly above 2x full
+  /// scale (the paper's "scaling is performed to have optimum signal
+  /// swing").  The shaping-relevant ratio a2 / (a1 b2) = 2 matches the
+  /// exact Eq. (3) coefficient set.
+  double b1 = 0.5, a1 = 0.5, b2 = 0.25, a2 = 0.25;
+  double coeff_mismatch_sigma = 1e-3;
+
+  /// DAC and quantizer imperfections.
+  double dac_mismatch_sigma = 1e-3;
+  double dac_noise_rms = 0.0;
+  double quantizer_offset = 0.0;
+  double quantizer_hysteresis = 0.0;
+
+  /// Gaussian dither added at the quantizer input [A rms].  Breaks up
+  /// the idle tones a low-order 1-bit loop produces for small DC
+  /// inputs; the SI circuit noise usually provides this for free (one
+  /// more reason the paper's chip shows no tones).
+  double quantizer_dither_rms = 0.0;
+
+  /// Chopper stabilization (Fig. 3b) on/off.
+  bool chopper = false;
+
+  /// 1/f noise of the measurement front-end, added before the input
+  /// chopper — the component the chopper cannot remove (the paper notes
+  /// it in Fig. 6b).
+  double input_interface_flicker_rms = 0.0;
+
+  /// Cubic nonlinearity of the input V/I interface and the first input
+  /// mirror: x' = x + a3 * fs * (x/fs)^3.  Unlike the in-loop cell
+  /// nonlinearity this is NOT noise-shaped, and it dominates the
+  /// measured THD ("the distortion introduced by the SI circuits",
+  /// Fig. 5 discussion).
+  double input_ci_a3 = 0.010;
+
+  double cell_mismatch_sigma = 2e-3;
+  cells::CmffParams cmff;
+  std::uint64_t seed = 1;
+
+  /// Cell preset scaled to the modulator's 6 uA full scale.
+  static cells::MemoryCellParams default_modulator_cell();
+};
+
+/// Behavioral (cell-accurate) SI delta-sigma modulator.
+class SiSigmaDeltaModulator {
+ public:
+  explicit SiSigmaDeltaModulator(const SiModulatorConfig& config);
+
+  /// Processes one input sample (differential-mode amps), returns the
+  /// output bit in {-1, +1} (after the output chopper when enabled).
+  int step(double x_dm);
+
+  /// Output bit before the output chopper (Fig. 6a tap).  Equal to the
+  /// final output when chopping is off.
+  int pre_chopper_bit() const { return yc_; }
+
+  /// Runs a whole stimulus; returns output bits as +-1 doubles.
+  std::vector<double> run(const std::vector<double>& x);
+
+  /// Runs a stimulus capturing both taps (for Fig. 6).
+  struct Taps {
+    std::vector<double> output;       ///< after the output chopper
+    std::vector<double> pre_chopper;  ///< before the output chopper
+  };
+  Taps run_with_taps(const std::vector<double>& x);
+
+  void reset();
+
+  /// Peak |state| currents seen since reset, for the signal-swing study.
+  double peak_state1() const { return peak1_; }
+  double peak_state2() const { return peak2_; }
+
+  const SiModulatorConfig& config() const { return config_; }
+
+ private:
+  SiModulatorConfig config_;
+  cells::SiAccumulatorStage stage1_;
+  cells::SiAccumulatorStage stage2_;
+  cells::ScalingMirror b1_, a1_, b2_, a2_;
+  CurrentQuantizer quantizer_;
+  CurrentDac dac1_;
+  CurrentDac dac2_;
+  cells::PinkNoise interface_noise_;
+  dsp::Xoshiro256 dither_{0xD17ED17ED17ED17EULL};
+  int chop_ = +1;  ///< (-1)^n sequence
+  int yc_ = +1;    ///< chopped-domain output bit
+  double peak1_ = 0.0, peak2_ = 0.0;
+};
+
+/// Ideal difference-equation second-order modulator (no circuit errors).
+/// Used for the Eq. (3) architecture checks and the quantization-limited
+/// dynamic-range ablation.
+class IdealSecondOrderModulator {
+ public:
+  /// Coefficients as in SiModulatorConfig; `full_scale` sets the DAC.
+  IdealSecondOrderModulator(double b1, double a1, double b2, double a2,
+                            double full_scale);
+
+  int step(double x);
+  std::vector<double> run(const std::vector<double>& x);
+  void reset();
+
+  double state1() const { return i1_; }
+  double state2() const { return i2_; }
+
+ private:
+  double b1_, a1_, b2_, a2_, fs_;
+  double i1_ = 0.0, i2_ = 0.0;
+};
+
+/// First-order SI delta-sigma modulator — the authors' companion design
+/// ([9]: "3.3-V 11-bit delta-sigma modulator using first-generation SI
+/// circuits").  One SI integrator stage and the same quantizer/DAC;
+/// used as an order baseline against the second-order loops.
+class FirstOrderSiModulator {
+ public:
+  /// Reuses SiModulatorConfig (b1/a1 are the loop coefficients; b2/a2
+  /// and the chopper flag are ignored).
+  explicit FirstOrderSiModulator(const SiModulatorConfig& config);
+
+  int step(double x_dm);
+  std::vector<double> run(const std::vector<double>& x);
+  void reset();
+
+ private:
+  SiModulatorConfig config_;
+  cells::SiAccumulatorStage stage_;
+  cells::ScalingMirror b1_, a1_;
+  CurrentQuantizer quantizer_;
+  CurrentDac dac_;
+  dsp::Xoshiro256 dither_{0xD17ED17ED17ED17EULL};
+};
+
+/// Switched-capacitor baseline: the same loop with ideal integrators and
+/// a kT/C-limited input sampling noise.  SC storage capacitors are much
+/// larger than SI gate capacitances, so the noise floor is far lower —
+/// the paper's Section V comparison (SI trades dynamic range for a
+/// plain digital process).
+class ScBaselineModulator {
+ public:
+  ScBaselineModulator(double full_scale, double sampling_cap_farads,
+                      double signal_swing_volts, std::uint64_t seed);
+
+  int step(double x);
+  std::vector<double> run(const std::vector<double>& x);
+  void reset();
+
+  /// Input-referred rms noise current equivalent [A].
+  double input_noise_rms() const { return noise_rms_; }
+
+ private:
+  IdealSecondOrderModulator core_;
+  dsp::Xoshiro256 rng_;
+  double noise_rms_;
+};
+
+}  // namespace si::dsm

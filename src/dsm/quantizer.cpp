@@ -1,0 +1,31 @@
+#include "dsm/quantizer.hpp"
+
+namespace si::dsm {
+
+int CurrentQuantizer::decide(double i_dm) {
+  const double x = i_dm - offset_;
+  if (hysteresis_ > 0.0) {
+    // Stay on the previous decision inside the hysteresis band.
+    if (last_ > 0 && x > -hysteresis_) return last_;
+    if (last_ < 0 && x < hysteresis_) return last_;
+  }
+  last_ = (x >= 0.0) ? +1 : -1;
+  return last_;
+}
+
+CurrentDac::CurrentDac(double full_scale_amps, double level_mismatch_sigma,
+                       double noise_rms, std::uint64_t seed)
+    : noise_rms_(noise_rms), rng_(seed ^ 0xDAC0DAC0DAC0DAC0ULL) {
+  dsp::Xoshiro256 draw(seed ^ 0x1234ABCD5678EF00ULL);
+  level_pos_ = full_scale_amps * (1.0 + draw.normal(0.0, level_mismatch_sigma));
+  level_neg_ = -full_scale_amps *
+               (1.0 + draw.normal(0.0, level_mismatch_sigma));
+}
+
+cells::Diff CurrentDac::convert(int y) {
+  double i = (y > 0) ? level_pos_ : level_neg_;
+  if (noise_rms_ > 0.0) i += rng_.normal(0.0, noise_rms_);
+  return cells::Diff::from_dm_cm(i, 0.0);
+}
+
+}  // namespace si::dsm

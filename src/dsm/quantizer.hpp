@@ -1,0 +1,51 @@
+// Current quantizer and feedback DAC of the SI delta-sigma modulators.
+// The paper uses the low-input-impedance current comparator of [20]
+// (Traff); behaviorally that is a sign decision with a small offset and
+// optional hysteresis.  The feedback "converters were current sources
+// controlled by the output of the current quantizers".
+#pragma once
+
+#include <cstdint>
+
+#include "si/memory_cell.hpp"
+
+namespace si::dsm {
+
+/// 1-bit current comparator.
+class CurrentQuantizer {
+ public:
+  CurrentQuantizer(double offset_amps = 0.0, double hysteresis_amps = 0.0)
+      : offset_(offset_amps), hysteresis_(hysteresis_amps) {}
+
+  /// Decision on a differential current: +1 or -1.
+  int decide(double i_dm);
+
+  void reset() { last_ = +1; }
+
+ private:
+  double offset_;
+  double hysteresis_;
+  int last_ = +1;
+};
+
+/// 1-bit current-steering DAC: +-full_scale with per-level mismatch and
+/// optional per-sample noise.
+class CurrentDac {
+ public:
+  CurrentDac(double full_scale_amps, double level_mismatch_sigma,
+             double noise_rms, std::uint64_t seed);
+
+  /// DAC output current (differential) for bit y in {-1, +1}.
+  cells::Diff convert(int y);
+
+  double positive_level() const { return level_pos_; }
+  double negative_level() const { return level_neg_; }
+
+ private:
+  double level_pos_;
+  double level_neg_;
+  double noise_rms_;
+  dsp::Xoshiro256 rng_;
+};
+
+}  // namespace si::dsm

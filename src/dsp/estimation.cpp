@@ -1,0 +1,81 @@
+#include "dsp/estimation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace si::dsp {
+
+double GoertzelResult::amplitude(std::size_t n) const {
+  // |X| for a sine of amplitude A at a bin center is A*N/2.
+  return 2.0 * std::sqrt(power()) / static_cast<double>(n);
+}
+
+GoertzelResult goertzel(const std::vector<double>& x, double f, double fs) {
+  if (x.empty()) throw std::invalid_argument("goertzel: empty signal");
+  if (fs <= 0.0) throw std::invalid_argument("goertzel: fs must be > 0");
+  const double w = 2.0 * std::numbers::pi * f / fs;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  GoertzelResult r;
+  r.real = s1 - s2 * std::cos(w);
+  r.imag = s2 * std::sin(w);
+  return r;
+}
+
+double WelchPsd::band_power(double f_lo, double f_hi) const {
+  double acc = 0.0;
+  for (std::size_t k = 1; k < psd.size(); ++k) {
+    const double fa = frequency(k - 1);
+    const double fb = frequency(k);
+    if (fb <= f_lo || fa >= f_hi) continue;
+    const double a = std::max(fa, f_lo);
+    const double b = std::min(fb, f_hi);
+    acc += 0.5 * (psd[k - 1] + psd[k]) * (b - a);
+  }
+  return acc;
+}
+
+WelchPsd welch_psd(const std::vector<double>& x, double fs,
+                   std::size_t segment_length, WindowType window) {
+  if (!is_power_of_two(segment_length))
+    throw std::invalid_argument("welch_psd: segment_length must be 2^k");
+  if (x.size() < segment_length)
+    throw std::invalid_argument("welch_psd: signal shorter than a segment");
+
+  const std::size_t n = segment_length;
+  const std::size_t hop = n / 2;
+  const std::vector<double> w = make_window(window, n);
+  double sum_w2 = 0.0;
+  for (double v : w) sum_w2 += v * v;
+
+  WelchPsd out;
+  out.fs = fs;
+  out.bin_width = fs / static_cast<double>(n);
+  out.psd.assign(n / 2 + 1, 0.0);
+
+  std::size_t segments = 0;
+  std::vector<double> buf(n);
+  for (std::size_t start = 0; start + n <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < n; ++i) buf[i] = x[start + i] * w[i];
+    const auto bins = rfft(buf);
+    // One-sided PSD normalization: 2 |X|^2 / (fs * sum(w^2)).
+    for (std::size_t k = 0; k < out.psd.size(); ++k) {
+      double p = 2.0 * std::norm(bins[k]) / (fs * sum_w2);
+      if (k == 0 || k == out.psd.size() - 1) p *= 0.5;
+      out.psd[k] += p;
+    }
+    ++segments;
+  }
+  for (auto& v : out.psd) v /= static_cast<double>(segments);
+  return out;
+}
+
+}  // namespace si::dsp

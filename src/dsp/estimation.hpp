@@ -1,0 +1,48 @@
+// Spectral estimation beyond the single windowed FFT: Goertzel
+// single-bin DFT (cheap tone tracking for long captures) and Welch
+// averaged periodograms (smooth noise-floor estimates for the spectra
+// the benches print).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace si::dsp {
+
+/// Goertzel algorithm: the DFT of `x` at the single frequency `f`
+/// (in Hz, sample rate `fs`).  Exact for bin-centered frequencies and
+/// O(N) with no transform storage.
+struct GoertzelResult {
+  double real = 0.0;
+  double imag = 0.0;
+  double power() const { return real * real + imag * imag; }
+  /// Amplitude of the underlying sine, calibrated like a one-sided
+  /// spectrum: a pure A*sin() input reports ~A.
+  double amplitude(std::size_t n) const;
+};
+
+GoertzelResult goertzel(const std::vector<double>& x, double f, double fs);
+
+/// Welch power spectral density estimate: the signal is cut into
+/// `segments` 50%-overlapping pieces, each windowed and transformed,
+/// and the periodograms averaged.  Output is the one-sided PSD in
+/// units^2/Hz — integrating it over a band gives band power.
+struct WelchPsd {
+  double fs = 0.0;
+  double bin_width = 0.0;
+  std::vector<double> psd;  ///< bins 0..nfft/2
+
+  double frequency(std::size_t k) const {
+    return static_cast<double>(k) * bin_width;
+  }
+  /// Integrated power over [f_lo, f_hi] (trapezoid on the PSD).
+  double band_power(double f_lo, double f_hi) const;
+};
+
+WelchPsd welch_psd(const std::vector<double>& x, double fs,
+                   std::size_t segment_length,
+                   WindowType window = WindowType::kHann);
+
+}  // namespace si::dsp

@@ -1,0 +1,77 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace si::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void bit_reverse_permute(std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<cplx>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_power_of_two(n))
+    throw std::invalid_argument("fft: length must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv;
+  }
+}
+
+std::vector<cplx> fft(const std::vector<cplx>& x) {
+  std::vector<cplx> y = x;
+  fft_inplace(y, false);
+  return y;
+}
+
+std::vector<cplx> ifft(const std::vector<cplx>& x) {
+  std::vector<cplx> y = x;
+  fft_inplace(y, true);
+  return y;
+}
+
+std::vector<cplx> rfft(const std::vector<double>& x) {
+  std::vector<cplx> y(x.begin(), x.end());
+  fft_inplace(y, false);
+  y.resize(x.size() / 2 + 1);
+  return y;
+}
+
+}  // namespace si::dsp

@@ -1,0 +1,34 @@
+// Radix-2 iterative FFT.  The paper's measurements are "64K-point FFT
+// using a Blackman window" — this module provides exactly that capability
+// for our simulated output streams.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace si::dsp {
+
+using cplx = std::complex<double>;
+
+/// True iff n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time radix-2 FFT.  `x.size()` must be a power
+/// of two.  `inverse` selects the inverse transform (scaled by 1/N).
+void fft_inplace(std::vector<cplx>& x, bool inverse = false);
+
+/// Out-of-place forward FFT of a complex signal.
+std::vector<cplx> fft(const std::vector<cplx>& x);
+
+/// Out-of-place inverse FFT (scaled by 1/N).
+std::vector<cplx> ifft(const std::vector<cplx>& x);
+
+/// FFT of a real signal: returns the N/2+1 non-redundant bins
+/// (DC .. Nyquist).  `x.size()` must be a power of two.
+std::vector<cplx> rfft(const std::vector<double>& x);
+
+}  // namespace si::dsp

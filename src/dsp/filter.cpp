@@ -1,0 +1,178 @@
+#include "dsp/filter.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace si::dsp {
+
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff,
+                                       WindowType window) {
+  if (taps % 2 == 0 || taps < 3)
+    throw std::invalid_argument("design_lowpass_fir: taps must be odd >= 3");
+  if (cutoff <= 0.0 || cutoff >= 0.5)
+    throw std::invalid_argument("design_lowpass_fir: cutoff in (0, 0.5)");
+  const std::vector<double> w = make_window(window, taps);
+  std::vector<double> h(taps);
+  const auto mid = static_cast<long long>(taps / 2);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const auto k = static_cast<long long>(i) - mid;
+    double v;
+    if (k == 0) {
+      v = 2.0 * cutoff;
+    } else {
+      const double a = 2.0 * std::numbers::pi * cutoff * static_cast<double>(k);
+      v = std::sin(a) / (std::numbers::pi * static_cast<double>(k));
+    }
+    h[i] = v * w[i];
+    sum += h[i];
+  }
+  for (auto& v : h) v /= sum;  // unity DC gain
+  return h;
+}
+
+std::vector<double> fir_filter(const std::vector<double>& h,
+                               const std::vector<double>& x) {
+  std::vector<double> y(x.size(), 0.0);
+  const long long delay = static_cast<long long>(h.size()) / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < h.size(); ++t) {
+      const long long j =
+          static_cast<long long>(i) + delay - static_cast<long long>(t);
+      if (j >= 0 && j < static_cast<long long>(x.size()))
+        acc += h[t] * x[static_cast<std::size_t>(j)];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> decimate(const std::vector<double>& x, std::size_t m,
+                             const std::vector<double>& h) {
+  if (m == 0) throw std::invalid_argument("decimate: m must be >= 1");
+  const std::vector<double> y = fir_filter(h, x);
+  std::vector<double> out;
+  out.reserve(y.size() / m + 1);
+  for (std::size_t i = 0; i < y.size(); i += m) out.push_back(y[i]);
+  return out;
+}
+
+CicDecimator::CicDecimator(int order, std::size_t m) : order_(order), m_(m) {
+  if (order < 1) throw std::invalid_argument("CicDecimator: order >= 1");
+  if (m < 1) throw std::invalid_argument("CicDecimator: m >= 1");
+  integrators_.assign(static_cast<std::size_t>(order), 0.0);
+  combs_.assign(static_cast<std::size_t>(order), 0.0);
+}
+
+double CicDecimator::raw_gain() const {
+  return std::pow(static_cast<double>(m_), order_);
+}
+
+void CicDecimator::reset() {
+  integrators_.assign(integrators_.size(), 0.0);
+  combs_.assign(combs_.size(), 0.0);
+  phase_ = 0;
+}
+
+std::vector<double> CicDecimator::process(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(x.size() / m_ + 1);
+  const double norm = 1.0 / raw_gain();
+  for (double v : x) {
+    // Integrator cascade at the input rate.
+    for (auto& s : integrators_) {
+      s += v;
+      v = s;
+    }
+    if (++phase_ == m_) {
+      phase_ = 0;
+      // Comb cascade at the decimated rate.
+      for (auto& d : combs_) {
+        const double prev = d;
+        d = v;
+        v -= prev;
+      }
+      out.push_back(v * norm);
+    }
+  }
+  return out;
+}
+
+std::vector<double> design_halfband_fir(std::size_t taps,
+                                        WindowType window) {
+  if (taps % 4 != 3)
+    throw std::invalid_argument("design_halfband_fir: taps % 4 must be 3");
+  const std::vector<double> w = make_window(window, taps);
+  std::vector<double> h(taps, 0.0);
+  const auto mid = static_cast<long long>(taps / 2);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const auto k = static_cast<long long>(i) - mid;
+    if (k == 0) {
+      h[i] = 0.5;
+    } else if (k % 2 != 0) {
+      // sinc(k/2) samples: only odd k are nonzero besides the center.
+      const double a = 0.5 * std::numbers::pi * static_cast<double>(k);
+      h[i] = std::sin(a) / (2.0 * a) * w[i];
+    }
+  }
+  // Normalize DC gain to exactly 1 while preserving the zero taps.
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+std::vector<double> halfband_decimate(const std::vector<double>& x,
+                                      const std::vector<double>& h) {
+  return decimate(x, 2, h);
+}
+
+std::vector<double> resample(const std::vector<double>& x,
+                             const ResampleSpec& spec) {
+  if (spec.up == 0 || spec.down == 0)
+    throw std::invalid_argument("resample: up/down must be >= 1");
+  const std::size_t l = spec.up, m = spec.down;
+  if (l == 1 && m == 1) return x;
+  // Anti-alias / anti-image cutoff at the narrower Nyquist, in units of
+  // the upsampled rate.
+  const double cutoff = 0.5 / static_cast<double>(std::max(l, m));
+  std::size_t taps = l * spec.taps_per_phase;
+  if (taps % 2 == 0) ++taps;
+  const std::vector<double> h = design_lowpass_fir(taps, cutoff);
+  // Polyphase evaluation: output j corresponds to upsampled index
+  // n = j*m; y[j] = L * sum_k h[k] xu[n - k] where xu has x at
+  // multiples of L.  Only k with (n - k) % L == 0 contribute.
+  const std::size_t n_out = (x.size() * l) / m;
+  std::vector<double> y(n_out, 0.0);
+  const long long delay = static_cast<long long>(h.size()) / 2;
+  for (std::size_t j = 0; j < n_out; ++j) {
+    const long long n =
+        static_cast<long long>(j) * static_cast<long long>(m) + delay;
+    double acc = 0.0;
+    // First contributing tap: k == n mod L.
+    for (long long k = n % static_cast<long long>(l);
+         k < static_cast<long long>(h.size());
+         k += static_cast<long long>(l)) {
+      const long long i = (n - k) / static_cast<long long>(l);
+      if (i >= 0 && i < static_cast<long long>(x.size()))
+        acc += h[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(i)];
+    }
+    y[j] = acc * static_cast<double>(l);
+  }
+  return y;
+}
+
+double fir_magnitude(const std::vector<double>& h, double f) {
+  const double w = 2.0 * std::numbers::pi * f;
+  double re = 0.0, im = 0.0;
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    re += h[k] * std::cos(w * static_cast<double>(k));
+    im -= h[k] * std::sin(w * static_cast<double>(k));
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+}  // namespace si::dsp

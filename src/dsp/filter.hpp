@@ -1,0 +1,85 @@
+// FIR design, filtering and decimation.  Oversampling converters are
+// always followed by a decimation filter in a real system; these blocks
+// let examples and tests compute decimated in-band outputs (CIC + FIR),
+// complementing the direct spectral SNR measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace si::dsp {
+
+/// Windowed-sinc linear-phase lowpass FIR.  `cutoff` is the -6 dB corner
+/// as a fraction of the sample rate (0 < cutoff < 0.5).  `taps` must be
+/// odd so the filter has integer group delay.
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff,
+                                       WindowType window = WindowType::kBlackman);
+
+/// Direct-form FIR convolution, "same" length output (zero-padded edges).
+std::vector<double> fir_filter(const std::vector<double>& h,
+                               const std::vector<double>& x);
+
+/// Lowpass-filter then keep every M-th sample.
+std::vector<double> decimate(const std::vector<double>& x, std::size_t m,
+                             const std::vector<double>& h);
+
+/// Cascaded integrator-comb decimator of order `order`, decimation `m`.
+/// The standard first stage after a delta-sigma modulator: an order-(L+1)
+/// CIC fully suppresses the shaped quantization noise of an order-L
+/// modulator at the decimated rate.
+class CicDecimator {
+ public:
+  CicDecimator(int order, std::size_t m);
+
+  /// Processes a full input block, returning floor(x.size()/m) outputs
+  /// scaled to unity DC gain.
+  std::vector<double> process(const std::vector<double>& x);
+
+  /// Raw DC gain m^order (before normalization).
+  double raw_gain() const;
+
+  int order() const { return order_; }
+  std::size_t decimation() const { return m_; }
+
+  /// Resets all integrator and comb state.
+  void reset();
+
+ private:
+  int order_;
+  std::size_t m_;
+  std::vector<double> integrators_;
+  std::vector<double> combs_;
+  std::size_t phase_ = 0;
+};
+
+/// Magnitude response |H(e^{j 2 pi f})| of an FIR at frequency `f`
+/// (fraction of the sample rate).
+double fir_magnitude(const std::vector<double>& h, double f);
+
+/// Halfband lowpass FIR (cutoff fs/4): every second tap is exactly zero
+/// except the 0.5 center, halving the multiplies in a /2 decimator.
+/// `taps` must satisfy taps % 4 == 3 (e.g. 31, 63) so the zeros align.
+std::vector<double> design_halfband_fir(std::size_t taps,
+                                        WindowType window = WindowType::kBlackman);
+
+/// Decimate-by-2 using a halfband filter.
+std::vector<double> halfband_decimate(const std::vector<double>& x,
+                                      const std::vector<double>& h);
+
+/// Rational-rate resampler: output rate = input rate * L / M, via
+/// upsample-by-L, lowpass at min(fs_in, fs_out)/2, downsample-by-M.
+/// Used to retime simulated streams between clock domains (e.g. a
+/// 2.45 MHz modulator feeding a 48 kHz-family audio chain).
+struct ResampleSpec {
+  std::size_t up = 1;    ///< L
+  std::size_t down = 1;  ///< M
+  std::size_t taps_per_phase = 24;  ///< filter length = L * taps_per_phase
+};
+
+std::vector<double> resample(const std::vector<double>& x,
+                             const ResampleSpec& spec);
+
+}  // namespace si::dsp

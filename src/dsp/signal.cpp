@@ -1,0 +1,155 @@
+#include "dsp/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace si::dsp {
+
+double db_from_power_ratio(double ratio) { return 10.0 * std::log10(ratio); }
+double db_from_amplitude_ratio(double ratio) {
+  return 20.0 * std::log10(ratio);
+}
+double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+double amplitude_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+double rms(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double peak(const std::vector<double>& x) {
+  double p = 0.0;
+  for (double v : x) p = std::max(p, std::abs(v));
+  return p;
+}
+
+double coherent_frequency(double f_target, double fs, std::size_t n) {
+  if (n == 0 || fs <= 0)
+    throw std::invalid_argument("coherent_frequency: bad fs or n");
+  const double bin = f_target * static_cast<double>(n) / fs;
+  auto k = static_cast<long long>(std::llround(bin));
+  if (k < 1) k = 1;
+  if (k % 2 == 0) {
+    // Prefer the odd neighbor closer to the target.
+    const double lo = std::abs(bin - static_cast<double>(k - 1));
+    const double hi = std::abs(bin - static_cast<double>(k + 1));
+    k += (hi < lo) ? 1 : -1;
+    if (k < 1) k = 1;
+  }
+  return static_cast<double>(k) * fs / static_cast<double>(n);
+}
+
+double frequency_to_bin(double f, double fs, std::size_t n) {
+  return f * static_cast<double>(n) / fs;
+}
+
+std::vector<double> sine(std::size_t count, double amplitude, double f,
+                         double fs, double phase) {
+  std::vector<double> x(count);
+  const double w = 2.0 * std::numbers::pi * f / fs;
+  for (std::size_t i = 0; i < count; ++i)
+    x[i] = amplitude * std::sin(w * static_cast<double>(i) + phase);
+  return x;
+}
+
+std::vector<double> multitone(std::size_t count, const std::vector<Tone>& tones,
+                              double fs) {
+  std::vector<double> x(count, 0.0);
+  for (const Tone& t : tones) {
+    const double w = 2.0 * std::numbers::pi * t.frequency / fs;
+    for (std::size_t i = 0; i < count; ++i)
+      x[i] += t.amplitude * std::sin(w * static_cast<double>(i) + t.phase);
+  }
+  return x;
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double a = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(a);
+  has_cached_ = true;
+  return r * std::cos(a);
+}
+
+double Xoshiro256::normal(double mean_value, double sigma) {
+  return mean_value + sigma * normal();
+}
+
+std::vector<double> white_noise(std::size_t count, double rms_value,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(count);
+  for (auto& v : x) v = rng.normal(0.0, rms_value);
+  return x;
+}
+
+std::vector<double> sine_with_jitter(std::size_t count, double amplitude,
+                                     double f, double fs, double jitter_rms,
+                                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(count);
+  const double w = 2.0 * std::numbers::pi * f;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / fs + rng.normal(0.0, jitter_rms);
+    x[i] = amplitude * std::sin(w * t);
+  }
+  return x;
+}
+
+}  // namespace si::dsp

@@ -1,0 +1,87 @@
+// Signal generation and amplitude utilities shared by tests, examples,
+// and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace si::dsp {
+
+/// Decibel helpers (power and amplitude conventions).
+double db_from_power_ratio(double ratio);
+double db_from_amplitude_ratio(double ratio);
+double power_ratio_from_db(double db);
+double amplitude_ratio_from_db(double db);
+
+/// RMS value of a sequence.
+double rms(const std::vector<double>& x);
+
+/// Mean value of a sequence.
+double mean(const std::vector<double>& x);
+
+/// Peak absolute value of a sequence.
+double peak(const std::vector<double>& x);
+
+/// Picks the coherent tone frequency closest to `f_target` for an
+/// `n`-point capture at sample rate `fs`: f = k * fs / n with k odd
+/// (odd k avoids the tone landing on a subharmonic of the record and
+/// sharing bins with its images).  Returns the exact frequency.
+double coherent_frequency(double f_target, double fs, std::size_t n);
+
+/// Bin index (may be fractional for non-coherent tones) of frequency `f`.
+double frequency_to_bin(double f, double fs, std::size_t n);
+
+/// Generates amplitude * sin(2 pi f/fs n + phase), n = 0..count-1.
+std::vector<double> sine(std::size_t count, double amplitude, double f,
+                         double fs, double phase = 0.0);
+
+/// Sum of several sines (amplitude, frequency) at sample rate fs.
+struct Tone {
+  double amplitude = 0.0;
+  double frequency = 0.0;
+  double phase = 0.0;
+};
+std::vector<double> multitone(std::size_t count, const std::vector<Tone>& tones,
+                              double fs);
+
+/// Deterministic xoshiro256** pseudo-random generator.  Used everywhere a
+/// "random" quantity is needed (noise, mismatch draws) so that every
+/// experiment is exactly reproducible.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double sigma);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+/// White Gaussian noise sequence with the given rms, deterministic seed.
+std::vector<double> white_noise(std::size_t count, double rms_value,
+                                std::uint64_t seed);
+
+/// Sine sampled with clock jitter: sample k is taken at
+/// t_k = k/fs + n_k, n_k ~ N(0, jitter_rms).  The classic aperture
+/// limit: SNR_jitter = -20 log10(2 pi f jitter_rms).  Lets the
+/// experiments bound how much clock quality the SI sampling needs.
+std::vector<double> sine_with_jitter(std::size_t count, double amplitude,
+                                     double f, double fs, double jitter_rms,
+                                     std::uint64_t seed);
+
+}  // namespace si::dsp

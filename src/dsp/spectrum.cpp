@@ -1,0 +1,78 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+
+namespace si::dsp {
+
+std::size_t PowerSpectrum::bin_of(double f) const {
+  if (power.empty()) return 0;
+  const double b = f / bin_width();
+  const auto k = static_cast<long long>(std::llround(b));
+  const long long hi = static_cast<long long>(power.size()) - 1;
+  return static_cast<std::size_t>(std::clamp(k, 0LL, hi));
+}
+
+double PowerSpectrum::raw_band_sum(double f_lo, double f_hi) const {
+  if (power.empty() || f_hi < f_lo) return 0.0;
+  const std::size_t k_lo = bin_of(f_lo);
+  const std::size_t k_hi = bin_of(f_hi);
+  double s = 0.0;
+  for (std::size_t k = k_lo; k <= k_hi && k < power.size(); ++k)
+    s += power[k];
+  return s;
+}
+
+std::size_t PowerSpectrum::peak_bin(std::size_t k_lo, std::size_t k_hi) const {
+  k_hi = std::min(k_hi, power.size() - 1);
+  std::size_t best = k_lo;
+  for (std::size_t k = k_lo; k <= k_hi; ++k)
+    if (power[k] > power[best]) best = k;
+  return best;
+}
+
+PowerSpectrum compute_power_spectrum(const std::vector<double>& x, double fs,
+                                     WindowType window) {
+  if (!is_power_of_two(x.size()))
+    throw std::invalid_argument(
+        "compute_power_spectrum: length must be a power of two");
+  const std::size_t n = x.size();
+  const std::vector<double> w = make_window(window, n);
+  double sum_w2 = 0.0;
+  for (double v : w) sum_w2 += v * v;
+
+  std::vector<double> xw(n);
+  for (std::size_t i = 0; i < n; ++i) xw[i] = x[i] * w[i];
+  const std::vector<cplx> bins = rfft(xw);
+
+  PowerSpectrum s;
+  s.fs = fs;
+  s.n = n;
+  s.window = window;
+  s.enbw_bins = enbw_bins(w);
+  s.power.resize(bins.size());
+  // Energy normalization: band sums of `power` are true signal powers.
+  const double scale = 2.0 / (static_cast<double>(n) * sum_w2);
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    double p = scale * std::norm(bins[k]);
+    if (k == 0 || k == bins.size() - 1) p *= 0.5;  // DC / Nyquist one-sided
+    s.power[k] = p;
+  }
+  return s;
+}
+
+std::vector<double> spectrum_db(const PowerSpectrum& s, double ref_power,
+                                double floor_db) {
+  std::vector<double> out(s.power.size());
+  for (std::size_t k = 0; k < s.power.size(); ++k) {
+    const double r = s.power[k] / ref_power;
+    out[k] = (r > 0.0) ? std::max(db_from_power_ratio(r), floor_db) : floor_db;
+  }
+  return out;
+}
+
+}  // namespace si::dsp

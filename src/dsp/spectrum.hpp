@@ -1,0 +1,58 @@
+// One-sided, tone-calibrated power spectra.  This is the software stand-in
+// for the spectrum analyzer used in the paper's measurements: the
+// experiment harness feeds simulated modulator bitstreams / delay-line
+// outputs through a Blackman-windowed FFT exactly as the authors did.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace si::dsp {
+
+/// One-sided power spectrum of a real signal.
+///
+/// Calibration convention (energy normalization by sum(w^2)): band sums
+/// of bins are true signal powers.  A coherent sine of amplitude A
+/// integrates to A^2/2 across its leakage cluster, and white noise of
+/// variance s^2 integrates to s^2 across the band — both independent of
+/// the window, with no ENBW correction needed.
+struct PowerSpectrum {
+  double fs = 0.0;          ///< sample rate [Hz]
+  std::size_t n = 0;        ///< FFT length the spectrum came from
+  WindowType window = WindowType::kBlackman;
+  double enbw_bins = 1.0;   ///< equivalent noise bandwidth of the window
+  std::vector<double> power;  ///< bins 0..n/2, calibrated as above
+
+  double bin_width() const { return fs / static_cast<double>(n); }
+  double bin_frequency(std::size_t k) const {
+    return static_cast<double>(k) * bin_width();
+  }
+  std::size_t bin_of(double f) const;
+
+  /// Raw (uncorrected) sum of bin powers over [f_lo, f_hi].
+  double raw_band_sum(double f_lo, double f_hi) const;
+
+  /// Noise power in [f_lo, f_hi].  With energy normalization this is the
+  /// plain band sum (kept as a named method for intent at call sites).
+  double noise_power_in_band(double f_lo, double f_hi) const {
+    return raw_band_sum(f_lo, f_hi);
+  }
+
+  /// Index of the largest bin in [k_lo, k_hi] (inclusive, clamped).
+  std::size_t peak_bin(std::size_t k_lo, std::size_t k_hi) const;
+};
+
+/// Computes the one-sided power spectrum of `x` (length must be a power
+/// of two) at sample rate `fs` with the given window.
+PowerSpectrum compute_power_spectrum(const std::vector<double>& x, double fs,
+                                     WindowType window = WindowType::kBlackman);
+
+/// dB (power) representation of the spectrum relative to `ref_power`
+/// (e.g. full-scale sine power A_fs^2/2 to get dBFS).  Bins below
+/// `floor_db` are clamped to `floor_db`.
+std::vector<double> spectrum_db(const PowerSpectrum& s, double ref_power,
+                                double floor_db = -200.0);
+
+}  // namespace si::dsp

@@ -1,0 +1,123 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace si::dsp {
+
+std::string window_name(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return "rectangular";
+    case WindowType::kHann: return "hann";
+    case WindowType::kHamming: return "hamming";
+    case WindowType::kBlackman: return "blackman";
+    case WindowType::kBlackmanHarris: return "blackman-harris";
+    case WindowType::kFlatTop: return "flattop";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Generalized cosine window: w[i] = sum_k (-1)^k a_k cos(2 pi k i / (N-1)).
+std::vector<double> cosine_window(std::size_t n,
+                                  const std::vector<double>& coeffs) {
+  std::vector<double> w(n, 0.0);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  const double scale = 2.0 * std::numbers::pi / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    double sign = 1.0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      v += sign * coeffs[k] * std::cos(scale * static_cast<double>(k * i));
+      sign = -sign;
+    }
+    w[i] = v;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: n must be > 0");
+  switch (type) {
+    case WindowType::kRectangular:
+      return std::vector<double>(n, 1.0);
+    case WindowType::kHann:
+      return cosine_window(n, {0.5, 0.5});
+    case WindowType::kHamming:
+      return cosine_window(n, {0.54, 0.46});
+    case WindowType::kBlackman:
+      return cosine_window(n, {0.42, 0.5, 0.08});
+    case WindowType::kBlackmanHarris:
+      return cosine_window(n, {0.35875, 0.48829, 0.14128, 0.01168});
+    case WindowType::kFlatTop:
+      return cosine_window(
+          n, {0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368});
+  }
+  throw std::invalid_argument("make_window: unknown window type");
+}
+
+double coherent_gain(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double v : w) s += v;
+  return s / static_cast<double>(w.size());
+}
+
+double enbw_bins(const std::vector<double>& w) {
+  double s1 = 0.0, s2 = 0.0;
+  for (double v : w) {
+    s1 += v;
+    s2 += v * v;
+  }
+  return static_cast<double>(w.size()) * s2 / (s1 * s1);
+}
+
+double bessel_i0(double x) {
+  // Power series sum_k ((x/2)^k / k!)^2 — converges fast for the
+  // argument range windows use.
+  const double half = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half / k) * (half / k);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+std::vector<double> make_kaiser(std::size_t n, double beta) {
+  if (n == 0) throw std::invalid_argument("make_kaiser: n must be > 0");
+  std::vector<double> w(n);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  const double denom = bessel_i0(beta);
+  const double m = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = 2.0 * static_cast<double>(i) / m - 1.0;
+    w[i] = bessel_i0(beta * std::sqrt(std::max(0.0, 1.0 - r * r))) / denom;
+  }
+  return w;
+}
+
+int leakage_halfwidth(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return 1;
+    case WindowType::kHann: return 3;
+    case WindowType::kHamming: return 3;
+    case WindowType::kBlackman: return 4;
+    case WindowType::kBlackmanHarris: return 5;
+    case WindowType::kFlatTop: return 6;
+  }
+  return 4;
+}
+
+}  // namespace si::dsp

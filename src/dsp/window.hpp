@@ -1,0 +1,49 @@
+// Window functions for spectral measurement.  The paper uses a Blackman
+// window; the others are provided for the test suite and for users who
+// want to trade main-lobe width against sidelobe level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace si::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,        // classic 3-term Blackman (the paper's choice)
+  kBlackmanHarris,  // 4-term minimum-sidelobe
+  kFlatTop,
+};
+
+/// Human-readable window name ("blackman", ...).
+std::string window_name(WindowType type);
+
+/// Generates the length-`n` window samples.
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Coherent gain: mean of the window samples.  A windowed sine's spectral
+/// peak is scaled by this factor.
+double coherent_gain(const std::vector<double>& w);
+
+/// Normalized equivalent noise bandwidth in bins:
+/// N * sum(w^2) / sum(w)^2.  Needed to convert windowed-periodogram noise
+/// power into true noise power.
+double enbw_bins(const std::vector<double>& w);
+
+/// Number of FFT bins on each side of a tone's center bin that carry
+/// significant leakage for this window (used when integrating tone power).
+int leakage_halfwidth(WindowType type);
+
+/// Kaiser window of shape parameter `beta` (adjustable sidelobe level;
+/// beta ~ 9 gives ~ -90 dB sidelobes).  Not part of WindowType because
+/// of the extra parameter.
+std::vector<double> make_kaiser(std::size_t n, double beta);
+
+/// Modified Bessel function of the first kind, order zero (power series;
+/// the Kaiser window kernel).
+double bessel_i0(double x);
+
+}  // namespace si::dsp

@@ -1,0 +1,15 @@
+#include "linalg/lu.hpp"
+
+namespace si::linalg {
+
+Vector solve(Matrix a, const Vector& b) {
+  LuFactorization<double> lu(std::move(a));
+  return lu.solve(b);
+}
+
+ComplexVector solve(ComplexMatrix a, const ComplexVector& b) {
+  LuFactorization<std::complex<double>> lu(std::move(a));
+  return lu.solve(b);
+}
+
+}  // namespace si::linalg

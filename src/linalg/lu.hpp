@@ -1,0 +1,120 @@
+// LU factorization with partial pivoting for real and complex dense
+// systems.  This is the single linear solver behind every circuit
+// analysis (DC Newton step, transient companion solve, AC sweep, noise
+// transfer functions).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace si::linalg {
+
+/// Thrown when a matrix is numerically singular (pivot below threshold).
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t column)
+      : std::runtime_error("singular matrix at pivot column " +
+                           std::to_string(column)),
+        column_(column) {}
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t column_;
+};
+
+/// In-place LU factorization PA = LU with partial (row) pivoting.
+///
+/// After `factor()` the matrix holds L (unit diagonal, strictly lower
+/// part) and U (upper part); `perm()` records the row permutation.
+/// Factor once, then `solve()` any number of right-hand sides — the AC
+/// and noise analyses exploit this.
+template <typename T>
+class LuFactorization {
+ public:
+  /// Factors `a` (consumed by value).  Throws SingularMatrixError if a
+  /// pivot magnitude falls below `pivot_tol * inf_norm(A)`.
+  explicit LuFactorization(DenseMatrix<T> a, double pivot_tol = 1e-13)
+      : lu_(std::move(a)) {
+    if (lu_.rows() != lu_.cols())
+      throw std::invalid_argument("LuFactorization: matrix must be square");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    const double scale = lu_.inf_norm();
+    const double tol = pivot_tol * (scale > 0 ? scale : 1.0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivoting: pick the largest magnitude entry in column k.
+      std::size_t piv = k;
+      double best = std::abs(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double m = std::abs(lu_(i, k));
+        if (m > best) {
+          best = m;
+          piv = i;
+        }
+      }
+      if (best < tol) throw SingularMatrixError(k);
+      if (piv != k) {
+        swap_rows(k, piv);
+        std::swap(perm_[k], perm_[piv]);
+        parity_ = -parity_;
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / pivot;
+        lu_(i, k) = m;
+        if (m == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+      }
+    }
+  }
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// Solves A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = dim();
+    if (b.size() != n)
+      throw std::invalid_argument("LuFactorization::solve: size mismatch");
+    std::vector<T> x(n);
+    // Apply permutation and forward-substitute L y = P b.
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Back-substitute U x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+  }
+
+  /// Determinant of the factored matrix (product of pivots times the
+  /// permutation parity).
+  T determinant() const {
+    T d = static_cast<T>(parity_);
+    for (std::size_t i = 0; i < dim(); ++i) d *= lu_(i, i);
+    return d;
+  }
+
+ private:
+  void swap_rows(std::size_t a, std::size_t b) {
+    for (std::size_t j = 0; j < lu_.cols(); ++j)
+      std::swap(lu_(a, j), lu_(b, j));
+  }
+
+  DenseMatrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int parity_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b (real).
+Vector solve(Matrix a, const Vector& b);
+
+/// Convenience one-shot solve of A x = b (complex).
+ComplexVector solve(ComplexMatrix a, const ComplexVector& b);
+
+}  // namespace si::linalg

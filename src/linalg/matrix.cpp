@@ -1,0 +1,41 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace si::linalg {
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s = std::max(s, std::abs(x));
+  return s;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("subtract: size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + s * b[i];
+  return r;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace si::linalg

@@ -1,0 +1,41 @@
+#include "si/blocks.hpp"
+
+#include <stdexcept>
+
+namespace si::cells {
+
+ScalingMirror::ScalingMirror(double gain, double mismatch_sigma,
+                             std::uint64_t seed)
+    : nominal_gain_(gain) {
+  dsp::Xoshiro256 rng(seed ^ 0x5EEDFACE12345678ULL);
+  realized_gain_ = gain * (1.0 + rng.normal(0.0, mismatch_sigma));
+}
+
+SiAccumulatorStage::SiAccumulatorStage(const AccumulatorConfig& config,
+                                       double feedback_sign)
+    : config_(config),
+      sign_(feedback_sign),
+      cell_a_(config.cell, config.cell_mismatch_sigma, config.seed * 7 + 1),
+      cell_b_(config.cell, config.cell_mismatch_sigma, config.seed * 7 + 2),
+      cmff_(config.cmff, config.seed * 7 + 3) {
+  if (feedback_sign != 1.0 && feedback_sign != -1.0)
+    throw std::invalid_argument("SiAccumulatorStage: sign must be +-1");
+}
+
+void SiAccumulatorStage::step(const Diff& summed_input) {
+  // The stage input node sums the recirculated state and the new input
+  // currents; the pair of memory cells stores it across the period.
+  Diff node = out_ + summed_input;
+  // Two inverting track-and-holds: +z^-1 through the period.
+  node = cell_b_.process(cell_a_.process(node));
+  if (config_.use_cmff) node = cmff_.process(node);
+  out_ = node * sign_;
+}
+
+void SiAccumulatorStage::reset() {
+  cell_a_.reset();
+  cell_b_.reset();
+  out_ = Diff{};
+}
+
+}  // namespace si::cells

@@ -1,0 +1,73 @@
+// Composite SI blocks built from memory cells: coefficient mirrors, the
+// delayed integrator of the Fig. 3(a) modulator, and the inverted
+// accumulator stage that realizes the chopped-domain equivalent in the
+// Fig. 3(b) chopper-stabilized modulator.
+//
+// Timing convention: step() consumes the inputs of clock n and the
+// block's new output is y[n+1] — i.e. every stage is *delaying*
+// (H(z) has a z^-1 numerator), which is exactly the paper's "there is
+// delay in both integrators/differentiators to decouple settling".
+#pragma once
+
+#include <cstdint>
+
+#include "si/common_mode.hpp"
+#include "si/memory_cell.hpp"
+
+namespace si::cells {
+
+/// A current mirror implementing a fixed coefficient, with a random gain
+/// error drawn at construction (geometric mismatch).
+class ScalingMirror {
+ public:
+  ScalingMirror(double gain, double mismatch_sigma, std::uint64_t seed);
+
+  Diff apply(const Diff& s) const { return s * realized_gain_; }
+  double nominal_gain() const { return nominal_gain_; }
+  double realized_gain() const { return realized_gain_; }
+
+ private:
+  double nominal_gain_;
+  double realized_gain_;
+};
+
+struct AccumulatorConfig {
+  MemoryCellParams cell = MemoryCellParams::paper_class_ab();
+  double cell_mismatch_sigma = 2e-3;
+  bool use_cmff = true;
+  CmffParams cmff;
+  std::uint64_t seed = 1;
+};
+
+/// State-holding stage: two memory cells in a loop giving one full clock
+/// period of storage.  With `feedback_sign = +1` this is the SI delayed
+/// integrator  H(z) = z^-1 / (1 - z^-1); with `feedback_sign = -1` it is
+/// the chopped-domain stage  H(z) = -z^-1 / (1 + z^-1)  used by the
+/// chopper-stabilized modulator (an inverting mirror is free in SI, so
+/// the hardware cost is identical — the paper's "no penalty in
+/// complexity").
+class SiAccumulatorStage {
+ public:
+  SiAccumulatorStage(const AccumulatorConfig& config, double feedback_sign);
+
+  /// Output y[n] available to downstream blocks this clock.
+  const Diff& output() const { return out_; }
+
+  /// Advances one clock with `summed_input` = the sum of all currents
+  /// wired into the stage input node (input mirror outputs, DAC, ...).
+  void step(const Diff& summed_input);
+
+  void reset();
+
+  double feedback_sign() const { return sign_; }
+
+ private:
+  AccumulatorConfig config_;
+  double sign_;
+  DifferentialMemoryCell cell_a_;
+  DifferentialMemoryCell cell_b_;
+  Cmff cmff_;
+  Diff out_;
+};
+
+}  // namespace si::cells

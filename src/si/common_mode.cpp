@@ -1,0 +1,50 @@
+#include "si/common_mode.hpp"
+
+#include <cmath>
+
+namespace si::cells {
+
+Cmff::Cmff(const CmffParams& params, std::uint64_t seed) : params_(params) {
+  dsp::Xoshiro256 rng(seed ^ 0xC0FFEE1234567890ULL);
+  extraction_error_ = params.extraction_gain_error +
+                      rng.normal(0.0, params.mirror_mismatch_sigma);
+  delta_p_ = rng.normal(0.0, params.mirror_mismatch_sigma);
+  delta_m_ = rng.normal(0.0, params.mirror_mismatch_sigma);
+}
+
+Diff Cmff::process(const Diff& s) const {
+  const double icm = s.cm() * (1.0 + extraction_error_);
+  Diff out;
+  out.p = s.p - icm * (1.0 + delta_p_);
+  out.m = s.m - icm * (1.0 + delta_m_);
+  return out;
+}
+
+double Cmff::residual_cm_gain() const {
+  // out.cm = cm - icm*(1 + (dp+dm)/2) = cm * (-(e) - (dp+dm)/2 - ...)
+  return -(extraction_error_ + 0.5 * (delta_p_ + delta_m_) +
+           extraction_error_ * 0.5 * (delta_p_ + delta_m_));
+}
+
+double Cmff::cm_to_dm_gain() const {
+  // out.dm = dm - icm*(dp - dm_mirror): per unit input CM.
+  return -(1.0 + extraction_error_) * (delta_p_ - delta_m_);
+}
+
+Cmfb::Cmfb(const CmfbParams& params) : params_(params) {}
+
+Diff Cmfb::process(const Diff& s) {
+  // Apply last cycle's correction (one-sample latency: the loop).
+  Diff out{s.p - correction_, s.m - correction_};
+  // Nonlinear sensing of the corrected output CM, with even-order
+  // leakage of the differential signal.
+  const double cm = out.cm();
+  const double r = params_.sense_range;
+  double sensed = r * std::tanh(cm / r);
+  const double x = out.dm() / (2.0 * r);
+  sensed += params_.dm_leakage * r * x * x;  // V->I->V even-order term
+  correction_ += params_.loop_gain * sensed;
+  return out;
+}
+
+}  // namespace si::cells

@@ -1,0 +1,81 @@
+// Common-mode control for fully differential SI circuits.
+//
+// The paper's Section III proposes common-mode feedforward (CMFF):
+// duplicate and halve the two outputs with mirror transistors, sum them
+// to obtain the common-mode current, and subtract it from both outputs
+// by wiring.  It is instantaneous (no feedback loop), linear (stays in
+// the current domain), and costs only current mirrors.  The baseline it
+// replaces is common-mode feedback (CMFB), which the paper criticizes
+// for (1) nonlinear V->I->V conversions, (2) loop speed limits, and
+// (3) the headroom the sense transistors consume.
+#pragma once
+
+#include <cstdint>
+
+#include "si/memory_cell.hpp"
+
+namespace si::cells {
+
+/// CMFF: instantaneous current-mode CM cancellation.
+struct CmffParams {
+  /// Systematic gain error of the half-size extraction mirrors.
+  double extraction_gain_error = 0.0;
+  /// Random mirror mismatch sigma (drawn once per instance).
+  double mirror_mismatch_sigma = 2e-3;
+};
+
+class Cmff {
+ public:
+  Cmff(const CmffParams& params, std::uint64_t seed);
+
+  /// Subtracts the extracted common-mode current from both outputs.
+  Diff process(const Diff& s) const;
+
+  /// Small-signal common-mode rejection: residual CM per input CM.
+  double residual_cm_gain() const;
+
+  /// CM -> DM conversion factor (from subtraction mirror mismatch).
+  double cm_to_dm_gain() const;
+
+ private:
+  CmffParams params_;
+  double extraction_error_;  ///< realized extraction gain error
+  double delta_p_;           ///< subtraction mirror error, p side
+  double delta_m_;           ///< subtraction mirror error, m side
+};
+
+/// CMFB: discrete-time first-order feedback loop with a nonlinear
+/// sensing characteristic.
+struct CmfbParams {
+  /// Fraction of the sensed CM corrected per clock (loop bandwidth).
+  double loop_gain = 0.25;
+  /// Linear range of the V/I sensing [A]; beyond it the sense
+  /// characteristic saturates (tanh).
+  double sense_range = 4e-6;
+  /// Even-order leakage of the differential signal into the sensed CM
+  /// (the V->I->V nonlinearity the paper criticizes).
+  double dm_leakage = 0.02;
+  /// Extra supply headroom the sense devices require [V] (feeds the
+  /// Eq. (1)-(2) supply calculator).
+  double headroom_volts = 0.4;
+};
+
+class Cmfb {
+ public:
+  explicit Cmfb(const CmfbParams& params);
+
+  /// Applies the current correction, then updates the loop state from
+  /// the (nonlinearly) sensed output CM.  One-sample loop latency.
+  Diff process(const Diff& s);
+
+  void reset() { correction_ = 0.0; }
+
+  double correction() const { return correction_; }
+  const CmfbParams& params() const { return params_; }
+
+ private:
+  CmfbParams params_;
+  double correction_ = 0.0;
+};
+
+}  // namespace si::cells

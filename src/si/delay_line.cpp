@@ -1,0 +1,57 @@
+#include "si/delay_line.hpp"
+
+#include <stdexcept>
+
+namespace si::cells {
+
+DelayLine::DelayLine(const DelayLineConfig& config) : config_(config) {
+  if (config.delays < 1)
+    throw std::invalid_argument("DelayLine: delays must be >= 1");
+  const int n_cells = 2 * config.delays;
+  cells_.reserve(static_cast<std::size_t>(n_cells));
+  for (int k = 0; k < n_cells; ++k)
+    cells_.emplace_back(config.cell, config.mismatch_sigma,
+                        config.seed * 131 + static_cast<std::uint64_t>(k));
+  for (int k = 0; k < config.delays; ++k) {
+    if (config.cm_control == CommonModeControl::kCmff)
+      cmffs_.emplace_back(config.cmff,
+                          config.seed * 977 + static_cast<std::uint64_t>(k));
+    else if (config.cm_control == CommonModeControl::kCmfb)
+      cmfbs_.emplace_back(config.cmfb);
+  }
+  latches_.assign(static_cast<std::size_t>(config.delays), Diff{});
+}
+
+Diff DelayLine::process(const Diff& in) {
+  const std::size_t n = latches_.size();
+  // The consumer reads the last stage's value latched at the end of the
+  // previous period.
+  const Diff out = latches_[n - 1];
+  // One track-and-hold pair per stage; each stage consumes its
+  // predecessor's previous-period output, so update back to front.
+  for (std::size_t s = n; s-- > 0;) {
+    const Diff stage_in = (s == 0) ? in : latches_[s - 1];
+    Diff v = cells_[2 * s + 1].process(cells_[2 * s].process(stage_in));
+    if (config_.cm_control == CommonModeControl::kCmff)
+      v = cmffs_[s].process(v);
+    else if (config_.cm_control == CommonModeControl::kCmfb)
+      v = cmfbs_[s].process(v);
+    latches_[s] = v;
+  }
+  return out;
+}
+
+std::vector<double> DelayLine::run_dm(const std::vector<double>& dm_in) {
+  std::vector<double> out;
+  out.reserve(dm_in.size());
+  for (double x : dm_in) out.push_back(process(Diff::from_dm_cm(x, 0.0)).dm());
+  return out;
+}
+
+void DelayLine::reset() {
+  for (auto& c : cells_) c.reset();
+  for (auto& f : cmfbs_) f.reset();
+  latches_.assign(latches_.size(), Diff{});
+}
+
+}  // namespace si::cells

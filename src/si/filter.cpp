@@ -1,0 +1,179 @@
+#include "si/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/estimation.hpp"
+#include "dsp/signal.hpp"
+
+namespace si::cells {
+
+double SiBiquadConfig::loop_gain() const {
+  return 2.0 * std::numbers::pi * f0 / fclk;
+}
+
+double SiBiquadConfig::damping() const {
+  const double g = loop_gain();
+  return g / q + g * g;  // g^2 compensates the loop's excess delay
+}
+
+namespace {
+
+AccumulatorConfig stage_config(const SiBiquadConfig& c, std::uint64_t salt) {
+  AccumulatorConfig a;
+  a.cell = c.cell;
+  a.cell_mismatch_sigma = c.cell_mismatch_sigma;
+  a.use_cmff = c.use_cmff;
+  a.cmff = c.cmff;
+  a.seed = c.seed * 131071 + salt;
+  return a;
+}
+
+}  // namespace
+
+SiBiquad::SiBiquad(const SiBiquadConfig& config)
+    : config_(config),
+      stage1_(stage_config(config, 1), +1.0),
+      stage2_(stage_config(config, 2), +1.0),
+      g_in_(config.loop_gain(), config.coeff_mismatch_sigma,
+            config.seed * 7 + 1),
+      g_fb_(config.loop_gain(), config.coeff_mismatch_sigma,
+            config.seed * 7 + 2),
+      g_fwd_(config.loop_gain(), config.coeff_mismatch_sigma,
+             config.seed * 7 + 3),
+      d_(config.damping(), config.coeff_mismatch_sigma,
+         config.seed * 7 + 4) {
+  if (config.f0 <= 0 || config.q <= 0 || config.fclk <= 0)
+    throw std::invalid_argument("SiBiquad: f0, q, fclk must be > 0");
+  if (config.f0 > config.fclk / 4.0)
+    throw std::invalid_argument("SiBiquad: f0 too close to fclk");
+}
+
+Diff SiBiquad::step(const Diff& x) {
+  // Read both states before updating (delaying integrators).
+  const Diff w1 = stage1_.output();
+  const Diff w2 = stage2_.output();
+  stage2_.step(g_fwd_.apply(w1));
+  stage1_.step(g_in_.apply(x) - g_fb_.apply(w2) - d_.apply(w1));
+  return stage2_.output();
+}
+
+std::vector<double> SiBiquad::run_dm(const std::vector<double>& dm_in) {
+  std::vector<double> out;
+  out.reserve(dm_in.size());
+  for (double v : dm_in) out.push_back(step(Diff::from_dm_cm(v, 0.0)).dm());
+  return out;
+}
+
+void SiBiquad::reset() {
+  stage1_.reset();
+  stage2_.reset();
+}
+
+double SiBiquad::ideal_magnitude(const SiBiquadConfig& cfg, double f) {
+  // Difference equations in z:
+  //   w1 (z-1) = g x - g w2 - d w1
+  //   w2 (z-1) = g w1        (all inputs taken delayed)
+  // => H(z) = g^2 z^-2 ... evaluate directly.
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, 2.0 * std::numbers::pi * f /
+                                             cfg.fclk));
+  const double g = cfg.loop_gain();
+  const double d = cfg.damping();
+  // w1 = (g x - g w2) / (z - 1 + d); w2 = g w1 / (z - 1).
+  // H = w2/x = g^2 / ((z - 1 + d)(z - 1) + g^2).
+  const std::complex<double> den =
+      (z - 1.0 + d) * (z - 1.0) + g * g;
+  return std::abs(g * g / den);
+}
+
+std::vector<BiquadSection> butterworth_sections(int order, double f0) {
+  if (order < 2 || order % 2 != 0)
+    throw std::invalid_argument("butterworth_sections: even order >= 2");
+  std::vector<BiquadSection> out;
+  const int n_sections = order / 2;
+  for (int k = 0; k < n_sections; ++k) {
+    const double angle =
+        (2.0 * k + 1.0) * std::numbers::pi / (2.0 * order);
+    BiquadSection s;
+    s.f0 = f0;
+    s.q = 1.0 / (2.0 * std::sin(angle));
+    out.push_back(s);
+  }
+  // Cascade low-Q sections first: keeps internal swings small.
+  std::sort(out.begin(), out.end(),
+            [](const BiquadSection& a, const BiquadSection& b) {
+              return a.q < b.q;
+            });
+  return out;
+}
+
+SiFilterCascade::SiFilterCascade(int order, double f0, double fclk,
+                                 const MemoryCellParams& cell,
+                                 std::uint64_t seed) {
+  const auto sections = butterworth_sections(order, f0);
+  stages_.reserve(sections.size());
+  configs_.reserve(sections.size());
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    SiBiquadConfig cfg;
+    cfg.f0 = sections[k].f0;
+    cfg.q = sections[k].q;
+    cfg.fclk = fclk;
+    cfg.cell = cell;
+    cfg.seed = seed * 1009 + k;
+    configs_.push_back(cfg);
+    stages_.emplace_back(cfg);
+  }
+}
+
+Diff SiFilterCascade::step(const Diff& x) {
+  Diff s = x;
+  for (auto& stage : stages_) s = stage.step(s);
+  return s;
+}
+
+std::vector<double> SiFilterCascade::run_dm(
+    const std::vector<double>& dm_in) {
+  std::vector<double> out;
+  out.reserve(dm_in.size());
+  for (double v : dm_in) out.push_back(step(Diff::from_dm_cm(v, 0.0)).dm());
+  return out;
+}
+
+void SiFilterCascade::reset() {
+  for (auto& s : stages_) s.reset();
+}
+
+double SiFilterCascade::ideal_magnitude(double f) const {
+  double m = 1.0;
+  for (const auto& cfg : configs_) m *= SiBiquad::ideal_magnitude(cfg, f);
+  return m;
+}
+
+std::vector<double> measure_magnitude_response(
+    const std::function<std::vector<double>(const std::vector<double>&)>& dut,
+    const std::vector<double>& freqs, double fclk, double amplitude,
+    std::size_t samples_per_tone) {
+  std::vector<double> mags;
+  mags.reserve(freqs.size());
+  for (double f : freqs) {
+    const double fc = dsp::coherent_frequency(f, fclk, samples_per_tone);
+    const auto x = dsp::sine(samples_per_tone, amplitude, fc, fclk);
+    auto y = dut(x);
+    // Discard the first half (filter settling) and extract the tone
+    // amplitude with a Goertzel bin — immune to the cell noise floor
+    // that would dominate an rms comparison in the stopband.
+    const std::size_t half = samples_per_tone / 2;
+    std::vector<double> yt(y.begin() + half, y.end());
+    std::vector<double> xt(x.begin() + half, x.end());
+    const double ay = dsp::goertzel(yt, fc, fclk).amplitude(yt.size());
+    const double ax = dsp::goertzel(xt, fc, fclk).amplitude(xt.size());
+    mags.push_back(ay / ax);
+  }
+  return mags;
+}
+
+}  // namespace si::cells

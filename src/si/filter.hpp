@@ -1,0 +1,112 @@
+// Switched-current filters — the other application class the paper's
+// introduction motivates ("the SI technique for filtering and data
+// conversion applications").  A second-order lowpass biquad built from
+// the same SI integrator stages as the modulators, using the classic
+// two-integrator loop:
+//
+//   w1[n+1] = w1[n] + g*(x[n] - w2[n]) - d*w1[n]
+//   w2[n+1] = w2[n] + g*w1[n]
+//
+// with g = 2 pi f0 / fclk and d = g / Q.  The cell transmission error
+// adds parasitic loss to both integrators, eroding the realized Q —
+// which is precisely why the paper boosts the input conductance with
+// GGAs.  The bench quantifies that: Q error vs transmission error,
+// with and without the GGA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "si/blocks.hpp"
+
+namespace si::cells {
+
+struct SiBiquadConfig {
+  double f0 = 100e3;        ///< center / corner frequency [Hz]
+  double q = 2.0;           ///< quality factor
+  double fclk = 5e6;        ///< clock rate [Hz]
+  MemoryCellParams cell = MemoryCellParams::paper_class_ab();
+  double cell_mismatch_sigma = 2e-3;
+  double coeff_mismatch_sigma = 1e-3;
+  bool use_cmff = true;
+  CmffParams cmff;
+  std::uint64_t seed = 1;
+
+  /// Integrator gain g = 2 pi f0 / fclk.
+  double loop_gain() const;
+  /// Damping coefficient, predistorted for the excess loop delay of the
+  /// two delaying integrators: d = g/Q + g^2.  Without the g^2 term the
+  /// extra z^-1 around the loop enhances the realized Q by d/(d - g^2)
+  /// — a classic design pitfall of delaying-integrator biquads.
+  double damping() const;
+};
+
+/// Fully differential SI lowpass biquad.
+class SiBiquad {
+ public:
+  explicit SiBiquad(const SiBiquadConfig& config);
+
+  /// One clock: consumes x[n], returns the lowpass output w2 (delayed
+  /// by the loop's storage, like every SI block).
+  Diff step(const Diff& x);
+
+  /// Differential-mode convenience wrapper.
+  std::vector<double> run_dm(const std::vector<double>& dm_in);
+
+  void reset();
+
+  const SiBiquadConfig& config() const { return config_; }
+
+  /// Ideal discrete-time magnitude response of the target biquad at
+  /// frequency f (for comparisons).
+  static double ideal_magnitude(const SiBiquadConfig& cfg, double f);
+
+ private:
+  SiBiquadConfig config_;
+  SiAccumulatorStage stage1_;
+  SiAccumulatorStage stage2_;
+  ScalingMirror g_in_, g_fb_, g_fwd_, d_;
+};
+
+/// Measured frequency response of a differential-stream processor: runs
+/// a tone at each frequency and reports |H| from the output/input rms
+/// ratio (settling samples discarded).
+std::vector<double> measure_magnitude_response(
+    const std::function<std::vector<double>(const std::vector<double>&)>& dut,
+    const std::vector<double>& freqs, double fclk, double amplitude,
+    std::size_t samples_per_tone = 8192);
+
+/// Butterworth section table: the (f0, Q) of each biquad of an
+/// even-order Butterworth lowpass with corner `f0` — the standard pole
+/// placement Q_k = 1 / (2 sin((2k+1) pi / 2N)).
+struct BiquadSection {
+  double f0 = 0.0;
+  double q = 0.0;
+};
+std::vector<BiquadSection> butterworth_sections(int order, double f0);
+
+/// Cascade of SI biquads realizing a higher-order lowpass — the
+/// "filtering for video frequencies" application of [2]-[3] built from
+/// the paper's class-AB cells.
+class SiFilterCascade {
+ public:
+  /// Even `order` only (cascade of order/2 biquads).
+  SiFilterCascade(int order, double f0, double fclk,
+                  const MemoryCellParams& cell, std::uint64_t seed);
+
+  Diff step(const Diff& x);
+  std::vector<double> run_dm(const std::vector<double>& dm_in);
+  void reset();
+
+  int order() const { return 2 * static_cast<int>(stages_.size()); }
+
+  /// Ideal cascade magnitude at frequency f.
+  double ideal_magnitude(double f) const;
+
+ private:
+  std::vector<SiBiquad> stages_;
+  std::vector<SiBiquadConfig> configs_;
+};
+
+}  // namespace si::cells

@@ -1,0 +1,141 @@
+#include "si/memory_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace si::cells {
+
+double MemoryCellParams::clip_current() const {
+  if (cell_class == CellClass::kClassA)
+    return modulation_limit * bias_current;
+  return clip_factor * full_scale;
+}
+
+double MemoryCellParams::transmission_error() const {
+  return base_transmission_error / std::max(gga_gain, 1.0);
+}
+
+MemoryCellParams MemoryCellParams::paper_class_ab() {
+  MemoryCellParams p;  // defaults are the calibrated paper cell
+  return p;
+}
+
+MemoryCellParams MemoryCellParams::class_a_baseline() {
+  MemoryCellParams p;
+  p.cell_class = CellClass::kClassA;
+  // Class A must bias above the peak signal current.
+  p.bias_current = 18e-6;
+  p.gga_gain = 1.0;          // plain second-generation cell input
+  p.base_transmission_error = 5e-3;
+  p.complementary_switches = false;
+  p.ci_a0 = 5e-4;            // single-polarity switch: full constant term
+  p.slew_knee = 0.0;         // no GGA, no GGA slewing
+  return p;
+}
+
+MemoryCellParams MemoryCellParams::first_generation() {
+  MemoryCellParams p = class_a_baseline();
+  p.generation = CellGeneration::kFirst;  // no CDS: 1/f noise passes
+  p.ci_a0 = 1e-3;  // first-generation cells take the full injection hit
+  p.ci_a1 = 1e-3;
+  return p;
+}
+
+MemoryCellParams MemoryCellParams::ideal() {
+  MemoryCellParams p;
+  p.base_transmission_error = 0.0;
+  p.gga_gain = 1.0;
+  p.ci_a0 = p.ci_a1 = p.ci_a2 = p.ci_a3 = 0.0;
+  p.settling_error = 0.0;
+  p.slew_knee = 0.0;
+  p.thermal_noise_rms = 0.0;
+  p.flicker_noise_rms = 0.0;
+  p.clip_factor = 1e6;
+  return p;
+}
+
+MemoryCell::MemoryCell(const MemoryCellParams& params, std::uint64_t seed)
+    : params_(params),
+      noise_(params.thermal_noise_rms, params.flicker_noise_rms,
+             params.cds(), seed) {
+  if (params.full_scale <= 0.0)
+    throw std::invalid_argument("MemoryCell: full_scale must be > 0");
+}
+
+double MemoryCell::apply_tracking(double target) const {
+  // GGA slewing: above the knee the amplifier runs out of current and
+  // the incremental gain compresses — the mechanism the paper blames for
+  // the THD rise at large delay-line inputs.
+  double t = target;
+  if (params_.slew_knee > 0.0 && std::abs(t) > params_.slew_knee) {
+    const double over = std::abs(t) - params_.slew_knee;
+    t = std::copysign(params_.slew_knee +
+                          over * (1.0 - params_.slew_compression),
+                      t);
+  }
+  // Linear settling residue toward the (compressed) target.
+  return t + (state_ - t) * params_.settling_error;
+}
+
+double MemoryCell::apply_charge_injection(double settled) const {
+  const double fs = params_.full_scale;
+  const double x = settled / fs;
+  // Complementary n/p switches cancel most of the signal-independent
+  // channel charge (paper Sec. II / [16]).
+  const double a0 =
+      params_.complementary_switches ? 0.1 * params_.ci_a0 : params_.ci_a0;
+  const double di =
+      fs * (a0 + params_.ci_a1 * x + params_.ci_a2 * x * x +
+            params_.ci_a3 * x * x * x);
+  return settled + di;
+}
+
+double MemoryCell::apply_clip(double i) const {
+  const double lim = params_.clip_current();
+  return std::clamp(i, -lim, lim);
+}
+
+double MemoryCell::process(double i_in) {
+  double v = apply_tracking(i_in);
+  v = apply_charge_injection(v);
+  v = apply_clip(v);
+  v += noise_.next();
+  state_ = v;
+  return -(1.0 - params_.transmission_error()) * state_;
+}
+
+void MemoryCell::reset() { state_ = 0.0; }
+
+DifferentialMemoryCell::DifferentialMemoryCell(const MemoryCellParams& params,
+                                               double mismatch_sigma,
+                                               std::uint64_t seed)
+    : params_(params),
+      cell_p_(params, seed * 2 + 1),
+      cell_m_(params, seed * 2 + 2) {
+  dsp::Xoshiro256 rng(seed ^ 0xA5A5A5A55A5A5A5AULL);
+  gain_mismatch_ = rng.normal(0.0, mismatch_sigma);
+  // Re-draw per-half injection so the constant term does not cancel
+  // perfectly between the halves.
+  MemoryCellParams pp = params, pm = params;
+  pp.ci_a0 *= 1.0 + rng.normal(0.0, mismatch_sigma * 10.0);
+  pm.ci_a0 *= 1.0 + rng.normal(0.0, mismatch_sigma * 10.0);
+  pp.ci_a2 *= 1.0 + rng.normal(0.0, mismatch_sigma * 10.0);
+  pm.ci_a2 *= 1.0 + rng.normal(0.0, mismatch_sigma * 10.0);
+  cell_p_ = MemoryCell(pp, seed * 2 + 1);
+  cell_m_ = MemoryCell(pm, seed * 2 + 2);
+}
+
+Diff DifferentialMemoryCell::process(const Diff& in) {
+  Diff out;
+  out.p = cell_p_.process(in.p) * (1.0 + 0.5 * gain_mismatch_);
+  out.m = cell_m_.process(in.m) * (1.0 - 0.5 * gain_mismatch_);
+  return out;
+}
+
+void DifferentialMemoryCell::reset() {
+  cell_p_.reset();
+  cell_m_.reset();
+}
+
+}  // namespace si::cells

@@ -1,0 +1,173 @@
+// Behavioral switched-current memory cells.
+//
+// The paper's contribution (Fig. 1) is a fully differential class-AB
+// cell whose input conductance is boosted by grounded-gate amplifiers
+// (GGAs), shrinking the transmission error caused by the finite
+// input/output conductance ratio.  This module models the cell — and the
+// class-A / first-generation baselines it is compared against — at the
+// sampled-data level, with every error mechanism the paper discusses:
+//
+//   * transmission error  eps = g_out / g_in_effective
+//   * signal-dependent charge injection (polynomial in the signal)
+//   * incomplete settling and GGA slewing (gain compression above a knee)
+//   * hard clipping at the class limit (bias current for class A,
+//     a multiple of full scale for class AB)
+//   * thermal + 1/f noise, with CDS in second-generation cells
+//   * device mismatch between the two differential halves
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "si/noise_model.hpp"
+
+namespace si::cells {
+
+enum class CellClass { kClassA, kClassAB };
+enum class CellGeneration { kFirst, kSecond };
+
+/// A differential current sample: the two physical branch currents.
+struct Diff {
+  double p = 0.0;
+  double m = 0.0;
+
+  /// Differential (signal) component.
+  double dm() const { return p - m; }
+  /// Common-mode component.
+  double cm() const { return 0.5 * (p + m); }
+
+  static Diff from_dm_cm(double dm, double cm) {
+    return Diff{cm + 0.5 * dm, cm - 0.5 * dm};
+  }
+
+  Diff operator+(const Diff& o) const { return {p + o.p, m + o.m}; }
+  Diff operator-(const Diff& o) const { return {p - o.p, m - o.m}; }
+  Diff operator*(double s) const { return {p * s, m * s}; }
+};
+
+/// Behavioral parameters of one memory cell (one half-circuit).
+/// Currents are in amperes; polynomial coefficients are normalized to
+/// `full_scale`.
+struct MemoryCellParams {
+  CellClass cell_class = CellClass::kClassAB;
+  CellGeneration generation = CellGeneration::kSecond;
+
+  /// Peak signal current the cell is designed for [A].
+  double full_scale = 16e-6;
+
+  /// Quiescent current of one memory transistor [A].  Class A cells clip
+  /// at (modulation_limit * bias); class AB cells clip at clip_factor *
+  /// full_scale while idling at a small bias.
+  double bias_current = 4e-6;
+  double modulation_limit = 0.95;  ///< class A usable fraction of bias
+  double clip_factor = 4.0;        ///< class AB clip as multiple of FS
+
+  /// Transmission error eps = g_out / g_in_eff.  `gga_gain` divides the
+  /// base error (the paper's input-conductance boost); 1 disables it.
+  double base_transmission_error = 5e-3;
+  double gga_gain = 50.0;
+
+  /// Charge injection, output-referred, normalized to full_scale:
+  /// di = fs * (a0 + a1*x + a2*x^2 + a3*x^3), x = i / fs.  The cubic
+  /// term models the signal-dependent channel charge of the sampling
+  /// switch interacting with the square-law gate voltage; it dominates
+  /// the differential THD.
+  double ci_a0 = 1e-4;
+  double ci_a1 = 2e-4;
+  double ci_a2 = 4e-4;
+  double ci_a3 = 0.09;
+
+  /// Linear settling residue per half period: exp(-T / (2 tau)).
+  double settling_error = 1e-5;
+
+  /// GGA slewing: compression above `slew_knee` amps; the incremental
+  /// gain beyond the knee drops by `slew_compression`.  0 knee disables.
+  double slew_knee = 10e-6;
+  double slew_compression = 0.05;
+
+  /// Per-sample noise [A rms].
+  double thermal_noise_rms = 16.5e-9;
+  double flicker_noise_rms = 8e-9;
+
+  /// True when complementary n/p switches cancel the constant part of
+  /// the injection (the class-AB trick from the paper / [16]).
+  bool complementary_switches = true;
+
+  /// Hard clip level [A] (derived from class).
+  double clip_current() const;
+  /// Effective transmission error after the GGA boost.
+  double transmission_error() const;
+  /// True if this generation performs correlated double sampling.
+  bool cds() const { return generation == CellGeneration::kSecond; }
+
+  // ---- presets -----------------------------------------------------
+  /// The paper's class-AB cell (Fig. 1), calibrated so the test-chip
+  /// numbers (Tables 1-2) come out: ~33 nA differential noise floor,
+  /// THD around -50 dB at 8 uA / -60 dB region for the modulators.
+  static MemoryCellParams paper_class_ab();
+  /// Class-A second-generation baseline ([2], [8], [12]).
+  static MemoryCellParams class_a_baseline();
+  /// First-generation cell: no CDS, larger injection error.
+  static MemoryCellParams first_generation();
+  /// Idealized cell (no error, no noise) for architecture checks.
+  static MemoryCellParams ideal();
+};
+
+/// One memory cell half-circuit.  Each process() call is one
+/// track-and-hold event (half clock period): the cell samples the input
+/// current and returns the held, inverted output available on the next
+/// phase.
+class MemoryCell {
+ public:
+  MemoryCell(const MemoryCellParams& params, std::uint64_t seed);
+
+  /// Tracks `i_in`, stores it with all cell errors applied, and returns
+  /// the held output current (inverted, scaled by 1 - eps).
+  double process(double i_in);
+
+  /// Currently stored current (after errors) [A].
+  double stored() const { return state_; }
+
+  void reset();
+
+  const MemoryCellParams& params() const { return params_; }
+
+ private:
+  double apply_tracking(double target) const;
+  double apply_charge_injection(double settled) const;
+  double apply_clip(double i) const;
+
+  MemoryCellParams params_;
+  CellNoise noise_;
+  double state_ = 0.0;
+};
+
+/// Fully differential memory cell: two half-circuits with mismatch.
+/// The constant charge-injection term lands on both halves (common mode)
+/// and only its mismatch fraction appears differentially — the paper's
+/// "fully differential structure reduces the charge injection error".
+class DifferentialMemoryCell {
+ public:
+  /// `mismatch_sigma` is the relative sigma of inter-half gain and
+  /// injection mismatch (drawn once at construction, deterministic).
+  DifferentialMemoryCell(const MemoryCellParams& params,
+                         double mismatch_sigma, std::uint64_t seed);
+
+  /// Processes one track-and-hold on both halves.
+  Diff process(const Diff& in);
+
+  void reset();
+
+  /// The realized gain mismatch between the two halves.
+  double gain_mismatch() const { return gain_mismatch_; }
+
+  const MemoryCellParams& params() const { return params_; }
+
+ private:
+  MemoryCellParams params_;
+  MemoryCell cell_p_;
+  MemoryCell cell_m_;
+  double gain_mismatch_ = 0.0;
+};
+
+}  // namespace si::cells

@@ -1,0 +1,204 @@
+#include "si/netlists.hpp"
+
+#include <stdexcept>
+
+namespace si::cells::netlists {
+
+spice::MosfetParams ProcessOptions::nmos(double w, double cgs) const {
+  spice::MosfetParams p;
+  p.w = w;
+  p.l = l;
+  p.kp = kp_n;
+  p.vt0 = vt_n;
+  p.lambda = lambda;
+  p.cgs = cgs;
+  return p;
+}
+
+spice::MosfetParams ProcessOptions::pmos(double w, double cgs) const {
+  spice::MosfetParams p;
+  p.w = w;
+  p.l = l;
+  p.kp = kp_p;
+  p.vt0 = vt_p;
+  p.lambda = lambda;
+  p.cgs = cgs;
+  return p;
+}
+
+MemoryPairHandles build_class_ab_memory_pair(spice::Circuit& c,
+                                             const MemoryPairOptions& opt,
+                                             const std::string& prefix) {
+  MemoryPairHandles h;
+  h.vdd = c.node("vdd");
+  h.d = c.node(prefix + "d");
+  h.gn = c.node(prefix + "gn");
+  h.gp = c.node(prefix + "gp");
+
+  const auto& pr = opt.process;
+  spice::MosfetParams pn = pr.nmos(opt.w_mem_n, pr.cgs_mem);
+  pn.l = opt.l_mem;
+  spice::MosfetParams pp = pr.pmos(opt.w_mem_p, pr.cgs_mem);
+  pp.l = opt.l_mem;
+  h.mn = &c.add<spice::Mosfet>(prefix + "MN", spice::MosType::kNmos, h.d,
+                               h.gn, c.ground(), pn);
+  h.mp = &c.add<spice::Mosfet>(prefix + "MP", spice::MosType::kPmos, h.d,
+                               h.gp, h.vdd, pp);
+
+  // Sampling node: where the gate switches take their sample from.  The
+  // plain cell samples the drain (diode connection); a GGA-boosted cell
+  // samples the GGA output instead.
+  const spice::NodeId sample = h.d;
+
+  const spice::TwoPhaseClock clk{opt.clock_period, opt.process.vdd, 0.0,
+                                 opt.clock_period / 100.0,
+                                 opt.clock_period / 50.0};
+  if (opt.mos_switches) {
+    // Real MOS switches show charge injection when they open.
+    const spice::NodeId phi1 = c.node(prefix + "phi1");
+    c.add<spice::VoltageSource>(prefix + "Vphi1", phi1, c.ground(),
+                                clk.phase1());
+    spice::MosfetParams swn = pr.nmos(opt.switch_w, opt.switch_cgs);
+    swn.cgd = opt.switch_cgs;
+    c.add<spice::Mosfet>(prefix + "SWN", spice::MosType::kNmos, sample, phi1,
+                         h.gn, swn);
+    if (opt.complementary_switches) {
+      const spice::NodeId phi1b = c.node(prefix + "phi1b");
+      // Inverted clock for the p switch.
+      c.add<spice::VoltageSource>(
+          prefix + "Vphi1b", phi1b, c.ground(),
+          std::make_unique<spice::PulseWave>(
+              opt.process.vdd, 0.0, clk.non_overlap, clk.edge, clk.edge,
+              opt.clock_period / 2.0 - clk.non_overlap - 2.0 * clk.edge,
+              opt.clock_period));
+      spice::MosfetParams swp = pr.pmos(opt.switch_w * 2.5, opt.switch_cgs);
+      swp.cgd = opt.switch_cgs;
+      c.add<spice::Mosfet>(prefix + "SWP", spice::MosType::kPmos, sample,
+                           phi1b, h.gp, swp);
+    } else {
+      // Same-polarity (n) switch on the p gate: no injection cancelling.
+      c.add<spice::Mosfet>(prefix + "SWN2", spice::MosType::kNmos, sample,
+                           c.node(prefix + "phi1"), h.gp, swn);
+    }
+  } else if (opt.switches_always_on) {
+    c.add<spice::Switch>(prefix + "SN", sample, h.gn,
+                         std::make_unique<spice::DcWave>(opt.process.vdd),
+                         100.0, 1e12);
+    c.add<spice::Switch>(prefix + "SP", sample, h.gp,
+                         std::make_unique<spice::DcWave>(opt.process.vdd),
+                         100.0, 1e12);
+  } else {
+    auto phase = [&] {
+      return opt.sample_on_phase2 ? clk.phase2() : clk.phase1();
+    };
+    c.add<spice::Switch>(prefix + "SN", sample, h.gn, phase(), 100.0, 1e12);
+    c.add<spice::Switch>(prefix + "SP", sample, h.gp, phase(), 100.0, 1e12);
+  }
+  return h;
+}
+
+DelayStageHandles build_delay_stage(spice::Circuit& c,
+                                    const DelayStageOptions& opt,
+                                    const std::string& prefix) {
+  DelayStageHandles h;
+  MemoryPairOptions p1 = opt.pair;
+  p1.sample_on_phase2 = false;
+  h.pair1 = build_class_ab_memory_pair(c, p1, prefix + "a_");
+  MemoryPairOptions p2 = opt.pair;
+  p2.sample_on_phase2 = true;
+  h.pair2 = build_class_ab_memory_pair(c, p2, prefix + "b_");
+  h.in = h.pair1.d;
+  h.mid = h.pair2.d;
+  // Transfer switch: during phase 2 the first pair's held current flows
+  // into the second (then diode-connected) pair.
+  const spice::TwoPhaseClock clk{opt.pair.clock_period, opt.pair.process.vdd,
+                                 0.0, opt.pair.clock_period / 100.0,
+                                 opt.pair.clock_period / 50.0};
+  c.add<spice::Switch>(prefix + "Sxfer", h.pair1.d, h.pair2.d, clk.phase2(),
+                       10.0, 1e12);
+  return h;
+}
+
+GgaHandles build_gga(spice::Circuit& c, const GgaOptions& opt,
+                     const std::string& prefix) {
+  GgaHandles h;
+  const spice::NodeId vdd = c.node("vdd");
+  h.in = c.node(prefix + "in");
+  h.out = c.node(prefix + "out");
+  const spice::NodeId vb = c.node(prefix + "vb");
+
+  c.add<spice::VoltageSource>(prefix + "Vb", vb, c.ground(), opt.v_gate);
+  h.tg = &c.add<spice::Mosfet>(prefix + "TG", spice::MosType::kNmos, h.out,
+                               vb, h.in, opt.process.nmos(opt.w_tg));
+  // Bias branch: TP sources the GGA current into the output node; a
+  // matched sink pulls it through the input node (the cascoded TC/TN
+  // pair of Fig. 1, idealized as a current source here — its only role
+  // at this level is to set the branch current).
+  c.add<spice::CurrentSource>(prefix + "ITP", vdd, h.out, opt.bias_current);
+  c.add<spice::CurrentSource>(prefix + "ITN", h.in, c.ground(),
+                              opt.bias_current);
+  (void)h.tp;
+  return h;
+}
+
+BoostedCellHandles build_gga_boosted_cell(spice::Circuit& c,
+                                          const BoostedCellOptions& opt,
+                                          const std::string& prefix) {
+  BoostedCellHandles h;
+  h.gga = build_gga(c, opt.gga, prefix + "gga_");
+  h.in = h.gga.in;
+  const auto& pr = opt.gga.process;
+  spice::MosfetParams pn = pr.nmos(opt.w_mem_n, pr.cgs_mem);
+  pn.l = opt.l_mem;
+  spice::MosfetParams pp = pr.pmos(opt.w_mem_p, pr.cgs_mem);
+  pp.l = opt.l_mem;
+  // Drains at the GGA input, gates driven by the GGA output: the loop
+  // that multiplies the cell's input conductance by the GGA gain.
+  h.mn = &c.add<spice::Mosfet>(prefix + "MN", spice::MosType::kNmos, h.gga.in,
+                               h.gga.out, c.ground(), pn);
+  h.mp = &c.add<spice::Mosfet>(prefix + "MP", spice::MosType::kPmos, h.gga.in,
+                               h.gga.out, c.node("vdd"), pp);
+  return h;
+}
+
+CmffHandles build_cmff(spice::Circuit& c, const CmffOptions& opt,
+                       const std::string& prefix) {
+  CmffHandles h;
+  h.vdd = c.node("vdd");
+  h.in_p = c.node(prefix + "inp");
+  h.in_m = c.node(prefix + "inm");
+  h.out_p = c.node(prefix + "outp");
+  h.out_m = c.node(prefix + "outm");
+  const spice::NodeId x = c.node(prefix + "icm");
+
+  const auto& pr = opt.process;
+  // Diode masters receiving the differential output currents.
+  c.add<spice::Mosfet>(prefix + "Tn0", spice::MosType::kNmos, h.in_p, h.in_p,
+                       c.ground(), pr.nmos(opt.w_n));
+  c.add<spice::Mosfet>(prefix + "Tn1", spice::MosType::kNmos, h.in_m, h.in_m,
+                       c.ground(), pr.nmos(opt.w_n));
+  // Half-size extraction devices: Icm = (Id+ + Id-)/2 at node x.  A
+  // common sizing error of the half-size pair extracts (1+e) Icm and
+  // leaves a proportional CM residual at the outputs.
+  const double w_half_p = 0.5 * opt.w_n * (1.0 + opt.extraction_mismatch);
+  const double w_half_m = 0.5 * opt.w_n * (1.0 + opt.extraction_mismatch);
+  c.add<spice::Mosfet>(prefix + "Tn2", spice::MosType::kNmos, x, h.in_p,
+                       c.ground(), pr.nmos(w_half_p));
+  c.add<spice::Mosfet>(prefix + "Tn3", spice::MosType::kNmos, x, h.in_m,
+                       c.ground(), pr.nmos(w_half_m));
+  // PMOS mirror distributing -Icm to both outputs.
+  c.add<spice::Mosfet>(prefix + "Tp0", spice::MosType::kPmos, x, x, h.vdd,
+                       pr.pmos(opt.w_p));
+  c.add<spice::Mosfet>(prefix + "Tp1", spice::MosType::kPmos, h.out_p, x,
+                       h.vdd, pr.pmos(opt.w_p));
+  c.add<spice::Mosfet>(prefix + "Tp2", spice::MosType::kPmos, h.out_m, x,
+                       h.vdd, pr.pmos(opt.w_p));
+  // Full-size output mirrors reproducing Id+ / Id- at the outputs.
+  c.add<spice::Mosfet>(prefix + "Tn4", spice::MosType::kNmos, h.out_p, h.in_p,
+                       c.ground(), pr.nmos(opt.w_n));
+  c.add<spice::Mosfet>(prefix + "Tn5", spice::MosType::kNmos, h.out_m, h.in_m,
+                       c.ground(), pr.nmos(opt.w_n));
+  return h;
+}
+
+}  // namespace si::cells::netlists

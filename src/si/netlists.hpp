@@ -1,0 +1,163 @@
+// Transistor-level netlist builders for the paper's circuits, used by
+// the Fig. 1 / Fig. 2 experiments and the device-level tests.  These
+// target the spice:: simulator and use level-1 devices with parameters
+// representative of the paper's 0.8 um single-poly digital CMOS process
+// (|Vt| ~ 0.8-1 V, 3.3 V supply).
+#pragma once
+
+#include <memory>
+
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+
+namespace si::cells::netlists {
+
+/// Shared process / sizing choices.
+struct ProcessOptions {
+  double vdd = 3.3;
+  double kp_n = 100e-6;  ///< NMOS uCox [A/V^2]
+  double kp_p = 40e-6;   ///< PMOS uCox [A/V^2]
+  double vt_n = 0.8;
+  double vt_p = 0.8;
+  double lambda = 0.02;
+  double l = 2e-6;       ///< analog channel length [m]
+  double cgs_mem = 0.15e-12;  ///< memory transistor storage cap [F]
+
+  spice::MosfetParams nmos(double w, double cgs = 0.0) const;
+  spice::MosfetParams pmos(double w, double cgs = 0.0) const;
+};
+
+/// The class-AB complementary memory pair of Fig. 1: both gates sample
+/// the drain node through switches, so the quiescent current is set by
+/// Vdd and sizing while the signal current can exceed it (class AB).
+struct MemoryPairHandles {
+  spice::NodeId vdd = 0;
+  spice::NodeId d = 0;    ///< drain / signal node
+  spice::NodeId gn = 0;   ///< NMOS memory gate (storage node)
+  spice::NodeId gp = 0;   ///< PMOS memory gate (storage node)
+  spice::Mosfet* mn = nullptr;
+  spice::Mosfet* mp = nullptr;
+};
+
+struct MemoryPairOptions {
+  ProcessOptions process;
+  double w_mem_n = 2e-6;
+  double w_mem_p = 5e-6;
+  /// Memory transistors are long-channel: with both gates tied to the
+  /// drain, the overdrive sum is fixed by Vdd (vov_n + vov_p =
+  /// Vdd - Vt_n - Vt_p), so the quiescent current is set by beta —
+  /// ~3.6 uA at W/L = 2/20 in this process.
+  double l_mem = 20e-6;
+  /// If true, use real MOS transistors as sampling switches (shows
+  /// charge injection); otherwise idealized Switch elements.
+  bool mos_switches = false;
+  /// Complementary switch pairs (n-switch for the n gate, p-switch for
+  /// the p gate) — the paper's injection-cancelling choice.
+  bool complementary_switches = true;
+  double clock_period = 200e-9;  ///< 5 MHz
+  double switch_w = 1e-6;
+  double switch_cgs = 4e-15;  ///< switch overlap cap (injection source)
+  /// Hold the sampling switches closed permanently (for DC studies of
+  /// the diode-connected configuration).  Ideal switches only.
+  bool switches_always_on = false;
+  /// Sample during clock phase 2 instead of phase 1 (the second pair of
+  /// a delay stage).  Ideal switches only.
+  bool sample_on_phase2 = false;
+};
+
+/// Builds the pair into `c`; clock phase 1 drives the sampling switches.
+MemoryPairHandles build_class_ab_memory_pair(spice::Circuit& c,
+                                             const MemoryPairOptions& opt,
+                                             const std::string& prefix = "");
+
+/// Grounded-gate amplifier (GGA) of Fig. 1: common-gate transistor TG
+/// biased by TP from the supply, with the cascoded sink TC/TN pulling
+/// the branch current through the input node.  Raises the conductance
+/// seen at `in` by its voltage gain when wrapped around a memory pair.
+struct GgaHandles {
+  spice::NodeId in = 0;    ///< low-impedance input (source of TG)
+  spice::NodeId out = 0;   ///< high-impedance output (drain of TG)
+  spice::Mosfet* tg = nullptr;
+  spice::Mosfet* tp = nullptr;
+};
+
+struct GgaOptions {
+  ProcessOptions process;
+  double bias_current = 25e-6;
+  double w_tg = 20e-6;
+  double v_gate = 1.8;  ///< TG gate bias
+};
+
+GgaHandles build_gga(spice::Circuit& c, const GgaOptions& opt,
+                     const std::string& prefix = "");
+
+/// The full GGA-boosted cell input of Fig. 1: the memory pair's drains
+/// sit at the GGA input (low impedance, the "virtual ground") while the
+/// gates are driven from the GGA output.  Built in the sampling
+/// configuration (gates permanently connected) for DC/AC studies.
+struct BoostedCellHandles {
+  GgaHandles gga;
+  spice::Mosfet* mn = nullptr;
+  spice::Mosfet* mp = nullptr;
+  spice::NodeId in = 0;  ///< the boosted cell input (= gga.in)
+};
+
+struct BoostedCellOptions {
+  GgaOptions gga;
+  double w_mem_n = 2e-6;
+  double w_mem_p = 5e-6;
+  double l_mem = 20e-6;
+};
+
+BoostedCellHandles build_gga_boosted_cell(spice::Circuit& c,
+                                          const BoostedCellOptions& opt,
+                                          const std::string& prefix = "");
+
+/// The CMFF mirror network of Fig. 2: the differential output currents
+/// flow into diode devices Tn0/Tn1; half-size Tn2/Tn3 extract
+/// Icm = (Id+ + Id-)/2, and the Tp0/Tp1/Tp2 mirror returns -Icm to both
+/// outputs.
+struct CmffHandles {
+  spice::NodeId vdd = 0;
+  spice::NodeId in_p = 0;   ///< differential input node +
+  spice::NodeId in_m = 0;   ///< differential input node -
+  spice::NodeId out_p = 0;  ///< corrected output +
+  spice::NodeId out_m = 0;  ///< corrected output -
+};
+
+struct CmffOptions {
+  ProcessOptions process;
+  double w_n = 10e-6;      ///< Tn0/Tn1 width
+  double w_p = 25e-6;
+  double bias_current = 20e-6;  ///< J in Fig. 2
+  /// Deliberate relative width error of the half-size extraction
+  /// devices, to study the CMFF residual vs mismatch.
+  double extraction_mismatch = 0.0;
+};
+
+CmffHandles build_cmff(spice::Circuit& c, const CmffOptions& opt,
+                       const std::string& prefix = "");
+
+/// A complete transistor-level SI delay stage: two class-AB memory
+/// pairs clocked on opposite phases with a transfer switch between
+/// them.  The first pair samples the input node during phase 1; during
+/// phase 2 its held current is transferred into the second
+/// (diode-connected) pair; the stage output is valid during the next
+/// phase 1 — a full z^-1 at circuit level.
+struct DelayStageHandles {
+  spice::NodeId in = 0;    ///< input current node (phase-1 side)
+  spice::NodeId mid = 0;   ///< internal transfer node (phase-2 side)
+  MemoryPairHandles pair1;
+  MemoryPairHandles pair2;
+};
+
+struct DelayStageOptions {
+  MemoryPairOptions pair;  ///< applies to both pairs
+};
+
+DelayStageHandles build_delay_stage(spice::Circuit& c,
+                                    const DelayStageOptions& opt,
+                                    const std::string& prefix = "");
+
+}  // namespace si::cells::netlists

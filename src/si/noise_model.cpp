@@ -1,0 +1,80 @@
+#include "si/noise_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/elements.hpp"
+
+namespace si::cells {
+
+PinkNoise::PinkNoise(double rms, int octaves, std::uint64_t seed)
+    : rng_(seed) {
+  if (octaves < 1) throw std::invalid_argument("PinkNoise: octaves >= 1");
+  rows_.assign(static_cast<std::size_t>(octaves), 0.0);
+  for (auto& r : rows_) r = rng_.normal();
+  // Sum of `octaves` independent unit-variance rows.
+  scale_ = rms / std::sqrt(static_cast<double>(octaves));
+}
+
+double PinkNoise::next() {
+  // Voss-McCartney: row k refreshes every 2^k samples; the row to update
+  // is the number of trailing zeros of the counter.
+  std::uint64_t c = ++counter_;
+  std::size_t row = 0;
+  while ((c & 1) == 0 && row + 1 < rows_.size()) {
+    c >>= 1;
+    ++row;
+  }
+  rows_[row] = rng_.normal();
+  double s = 0.0;
+  for (double r : rows_) s += r;
+  return s * scale_;
+}
+
+CellNoise::CellNoise(double thermal_rms, double flicker_rms,
+                     bool cds_suppression, std::uint64_t seed)
+    : rng_(seed ^ 0x9E3779B97F4A7C15ULL),
+      pink_(flicker_rms > 0 ? flicker_rms : 1.0, 16, seed),
+      thermal_rms_(thermal_rms),
+      flicker_rms_(flicker_rms),
+      cds_(cds_suppression) {}
+
+double CellNoise::next() {
+  double n = 0.0;
+  if (thermal_rms_ > 0.0) n += rng_.normal(0.0, thermal_rms_);
+  if (flicker_rms_ > 0.0) {
+    const double p = pink_.next();
+    if (cds_) {
+      // Correlated double sampling: the cell cancels the part of the
+      // low-frequency noise that is common to the two samplings — a
+      // first difference that high-passes the 1/f component.
+      n += have_prev_ ? (p - prev_pink_) : 0.0;
+      prev_pink_ = p;
+      have_prev_ = true;
+    } else {
+      n += p;
+    }
+  }
+  return n;
+}
+
+double NoiseBudget::gate_voltage_rms() const {
+  return std::sqrt(gamma * spice::kBoltzmann * temperature / cgs);
+}
+
+double NoiseBudget::single_transistor_current_rms() const {
+  return gm * gate_voltage_rms();
+}
+
+double NoiseBudget::cell_current_rms() const {
+  return single_transistor_current_rms() *
+         std::sqrt(static_cast<double>(contributing_transistors));
+}
+
+double NoiseBudget::snr_db(double i_peak) const {
+  const double sig = i_peak * i_peak / 2.0;
+  const double noise = cell_current_rms() * cell_current_rms();
+  return 10.0 * std::log10(sig / noise);
+}
+
+}  // namespace si::cells

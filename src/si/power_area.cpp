@@ -1,0 +1,78 @@
+#include "si/power_area.hpp"
+
+#include <algorithm>
+
+namespace si::cells {
+
+PowerReport PowerModel::finish(double quiescent_amps,
+                               double signal_amps) const {
+  PowerReport r;
+  r.supply_volts = supply_;
+  r.quiescent_ma = quiescent_amps * 1e3;
+  r.signal_ma = signal_amps * 1e3;
+  r.total_mw = supply_ * (quiescent_amps + signal_amps) * 1e3;
+  return r;
+}
+
+PowerReport PowerModel::delay_line(int delays, double peak_signal_amps,
+                                   const MemoryCellParams& cell) const {
+  const int cells = 2 * delays;
+  double quiescent = 0.0;
+  double signal = 0.0;
+  if (cell.cell_class == CellClass::kClassAB) {
+    // GGA + cascode branches plus the small memory quiescent; the
+    // memory branches conduct the signal on demand (average |sine| =
+    // 2/pi of the peak).
+    quiescent = cells * (2.0 * (budget_.gga_bias + budget_.cascode_bias) +
+                         2.0 * cell.bias_current);
+    signal = cells * peak_signal_amps * (2.0 / 3.14159265);
+  } else {
+    // Class A: the memory transistor AND its biasing transistor each
+    // stand a bias above the peak signal, both differential halves.
+    const double bias = std::max(cell.bias_current,
+                                 peak_signal_amps / cell.modulation_limit);
+    quiescent = cells * 2.0 * 2.0 * bias;
+  }
+  // CMFF mirrors: three mirror branches biased at the cell level per
+  // delay (Fig. 2(b): J biased extraction + two subtraction branches).
+  quiescent += delays * 3.0 * budget_.memory_quiescent * 2.0;
+  return finish(quiescent, signal);
+}
+
+PowerReport PowerModel::modulator(double full_scale_amps, bool chopper) const {
+  (void)chopper;  // chopper switches carry no standing current
+  // Two integrators, each: 2 cells + input/DAC scaling mirrors + CMFF.
+  const int cells = 4;
+  double quiescent = cells * budget_.quiescent_per_cell();
+  // Scaling mirrors: input + two DAC branches per integrator, biased to
+  // pass the full-scale signal range.
+  quiescent += 2 * 3 * (2.0 * full_scale_amps + 2.0 * budget_.memory_quiescent);
+  // CMFF per integrator.
+  quiescent += 2 * 3.0 * budget_.memory_quiescent * 2.0;
+  // Current quantizer [20] + latch + two DACs.
+  quiescent += 30e-6 + 2 * (2.0 * full_scale_amps);
+  // Clock generation, non-overlap drivers, and bias distribution for
+  // the full converter (both modulators carry their own).
+  quiescent += 300e-6;
+  // Class AB signal-dependent average: ~half scale on average.
+  const double signal = cells * 0.5 * full_scale_amps;
+  return finish(quiescent, signal);
+}
+
+double AreaModel::delay_line_mm2(int delays) const {
+  const int transistors =
+      2 * delays * kTransistorsPerCell + delays * kTransistorsPerCmff;
+  return block_overhead_mm2 + transistors * mm2_per_transistor;
+}
+
+double AreaModel::modulator_mm2(bool chopper) const {
+  int transistors = 4 * kTransistorsPerCell + 2 * kTransistorsPerCmff +
+                    kTransistorsQuantizer + 2 * kTransistorsDac +
+                    2 * 3 * 4 /* scaling mirrors */;
+  if (chopper) transistors += 2 * kTransistorsChopper;
+  // The modulators carry their own clock generator and bias blocks.
+  return 3.0 * block_overhead_mm2 + transistors * mm2_per_transistor +
+         (chopper ? 0.02 : 0.0) /* chopper clock routing */;
+}
+
+}  // namespace si::cells

@@ -1,0 +1,84 @@
+// Power and area accounting for the test-chip blocks (the stand-in for
+// the paper's measured 0.7 mW / 3.2 mW dissipation and 0.06 / 0.21 /
+// 0.26 mm^2 areas).  Power in SI circuits is the supply voltage times
+// the sum of quiescent branch currents, plus a signal-dependent term for
+// class AB; area is counted per device with a routing overhead factor
+// calibrated to the 0.8 um test chip.
+#pragma once
+
+#include "si/memory_cell.hpp"
+
+namespace si::cells {
+
+/// Current inventory of one memory cell (one differential side counts
+/// both halves).
+struct CellCurrentBudget {
+  double gga_bias = 25e-6;      ///< GGA branch bias J per half [A]
+  double cascode_bias = 22e-6;  ///< TC/TN cascode branch per half [A]
+  double memory_quiescent = 4e-6;  ///< memory pair idle current per half [A]
+
+  /// Total quiescent current of a fully differential cell [A].
+  double quiescent_per_cell() const {
+    return 2.0 * (gga_bias + cascode_bias + memory_quiescent);
+  }
+};
+
+struct PowerReport {
+  double supply_volts = 3.3;
+  double quiescent_ma = 0.0;   ///< total standing current [mA]
+  double signal_ma = 0.0;      ///< average signal-dependent current [mA]
+  double total_mw = 0.0;
+
+  double quiescent_mw() const { return supply_volts * quiescent_ma; }
+};
+
+/// Power model for the Table 1 / Table 2 blocks.
+class PowerModel {
+ public:
+  PowerModel(double supply_volts, CellCurrentBudget budget)
+      : supply_(supply_volts), budget_(budget) {}
+
+  /// Delay line of `delays` full delays (2 cells each) plus one CMFF
+  /// stage per delay.  `cell` supplies the class and bias current:
+  /// class AB idles at its small bias and carries the signal on demand;
+  /// class A must stand a bias above the peak signal in both the memory
+  /// and its biasing branch.  `peak_signal` is the design full scale.
+  PowerReport delay_line(int delays, double peak_signal_amps,
+                         const MemoryCellParams& cell) const;
+
+  /// Second-order modulator: two integrator stages (2 cells each),
+  /// CMFF mirrors, current quantizer and feedback DACs.  The chopper
+  /// variant adds only switches, i.e. no extra standing current — the
+  /// paper reports the same 3.2 mW for both.
+  PowerReport modulator(double full_scale_amps, bool chopper) const;
+
+  double supply() const { return supply_; }
+
+ private:
+  PowerReport finish(double quiescent_amps, double signal_amps) const;
+
+  double supply_;
+  CellCurrentBudget budget_;
+};
+
+/// Transistor-count area model, calibrated to the paper's 0.8 um chip.
+struct AreaModel {
+  /// Effective area per transistor including local routing [mm^2].
+  double mm2_per_transistor = 0.0013;
+  /// Fixed overhead per block (bias distribution, clocking) [mm^2].
+  double block_overhead_mm2 = 0.01;
+
+  /// Fig. 1 cell: 2 x (4 GGA + 2 memory + 2 switches) = 16 transistors.
+  static constexpr int kTransistorsPerCell = 16;
+  /// CMFF: Fig. 2(b)+(c): 2 half mirrors + 3 p mirrors + 2 subtractors.
+  static constexpr int kTransistorsPerCmff = 7;
+  /// Current comparator [20] + clocked latch.
+  static constexpr int kTransistorsQuantizer = 12;
+  static constexpr int kTransistorsDac = 8;
+  static constexpr int kTransistorsChopper = 8;  ///< chopper switches
+
+  double delay_line_mm2(int delays) const;
+  double modulator_mm2(bool chopper) const;
+};
+
+}  // namespace si::cells

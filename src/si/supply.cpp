@@ -1,0 +1,48 @@
+#include "si/supply.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace si::cells {
+
+SupplyRequirement minimum_supply(const SupplyDesign& d, double m_i) {
+  if (m_i < 0.0) throw std::invalid_argument("minimum_supply: m_i >= 0");
+  const double stretch = std::sqrt(1.0 + m_i);
+  SupplyRequirement r;
+  r.eq1_volts = d.vsat_tp + d.vsat_tg + d.vsat_tc + d.vsat_tn +
+                (stretch - 1.0) * std::max(d.vsat_mn, d.vsat_mp);
+  r.eq2_volts = d.vt_mp + d.vt_mn + stretch * (d.vsat_mn + d.vsat_mp);
+  r.minimum_volts = std::max(r.eq1_volts, r.eq2_volts);
+  return r;
+}
+
+double max_modulation_index(const SupplyDesign& d, double vdd) {
+  if (!minimum_supply(d, 0.0).feasible_at(vdd)) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  // Grow hi until infeasible (or absurdly large).
+  while (minimum_supply(d, hi).feasible_at(vdd) && hi < 1e6) hi *= 2.0;
+  if (hi >= 1e6) return hi;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (minimum_supply(d, mid).feasible_at(vdd))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+SupplyRequirement minimum_supply_with_cmfb(const SupplyDesign& d, double m_i,
+                                           double cmfb_headroom_volts) {
+  // The CM sense transistor stacks in series with the output branches,
+  // so its drain voltage adds to both branch requirements ([2]; the
+  // paper notes level shifting can partially circumvent it).
+  SupplyRequirement r = minimum_supply(d, m_i);
+  r.eq1_volts += cmfb_headroom_volts;
+  r.eq2_volts += cmfb_headroom_volts;
+  r.minimum_volts = std::max(r.eq1_volts, r.eq2_volts);
+  return r;
+}
+
+}  // namespace si::cells

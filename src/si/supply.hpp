@@ -1,0 +1,53 @@
+// Minimum supply voltage of the class-AB memory cell — Eqs. (1) and (2)
+// of the paper.  Every transistor of Fig. 1 must stay saturated:
+//
+//  Eq.(1): the GGA branch stack —
+//    Vdd >= Vsat_TP + Vsat_TG + Vsat_TC + Vsat_TN
+//           + (sqrt(1 + m_i) - 1) * Vsat_mem
+//  Eq.(2): the complementary memory pair —
+//    Vdd >= Vt_MP + Vt_MN + sqrt(1 + m_i) * (Vsat_MN + Vsat_MP)
+//
+// where m_i is the signal modulation index (peak signal over bias) and
+// the sqrt terms come from the square-law growth of the overdrive with
+// the instantaneous current.  With Vt around 1 V this admits 3.3 V
+// operation even for large inputs — the paper's headline claim.
+#pragma once
+
+namespace si::cells {
+
+/// Quiescent saturation voltages (overdrives) of the Fig. 1 transistors
+/// and the memory-pair thresholds.  Defaults are the values a 0.8 um
+/// design would use (Vt ~ 1 V, overdrives a few hundred mV).
+struct SupplyDesign {
+  double vsat_tp = 0.25;   ///< GGA bias source TP [V]
+  double vsat_tg = 0.20;   ///< grounded-gate transistor TG [V]
+  double vsat_tc = 0.20;   ///< cascode TC [V]
+  double vsat_tn = 0.25;   ///< bias transistor TN [V]
+  double vsat_mn = 0.30;   ///< memory NMOS overdrive at bias [V]
+  double vsat_mp = 0.30;   ///< memory PMOS overdrive at bias [V]
+  double vt_mn = 1.0;      ///< memory NMOS threshold [V]
+  double vt_mp = 1.0;      ///< memory PMOS threshold [V]
+};
+
+struct SupplyRequirement {
+  double eq1_volts = 0.0;  ///< GGA branch requirement
+  double eq2_volts = 0.0;  ///< memory pair requirement
+  double minimum_volts = 0.0;  ///< max of the two
+
+  bool feasible_at(double vdd) const { return vdd >= minimum_volts; }
+};
+
+/// Evaluates Eqs. (1)-(2) at modulation index `m_i` (>= 0).
+SupplyRequirement minimum_supply(const SupplyDesign& d, double m_i);
+
+/// Largest modulation index operable at `vdd` (bisection; 0 if even the
+/// quiescent point does not fit).
+double max_modulation_index(const SupplyDesign& d, double vdd);
+
+/// Extra requirement when classic CMFB replaces CMFF: the sense
+/// transistors add `headroom` on top of Eq. (1) (the drawback the paper
+/// removes).
+SupplyRequirement minimum_supply_with_cmfb(const SupplyDesign& d, double m_i,
+                                           double cmfb_headroom_volts);
+
+}  // namespace si::cells

@@ -1,0 +1,61 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+#include "linalg/lu.hpp"
+
+namespace si::spice {
+
+std::complex<double> AcResult::voltage(const Circuit& c, std::size_t k,
+                                       NodeId node) const {
+  if (node == kGroundNode) return {0.0, 0.0};
+  (void)c;
+  return solutions.at(k)[static_cast<std::size_t>(node - 1)];
+}
+
+std::vector<double> AcResult::magnitude_db(const Circuit& c,
+                                           NodeId node) const {
+  std::vector<double> out(freq.size());
+  for (std::size_t k = 0; k < freq.size(); ++k)
+    out[k] = dsp::db_from_amplitude_ratio(std::abs(voltage(c, k, node)));
+  return out;
+}
+
+AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs) {
+  c.finalize();
+  const std::size_t n = c.system_size();
+  AcResult r;
+  r.freq = freqs;
+  r.solutions.reserve(freqs.size());
+
+  linalg::ComplexMatrix a(n, n);
+  linalg::ComplexVector b(n);
+  for (double f : freqs) {
+    const double omega = 2.0 * std::numbers::pi * f;
+    a.set_zero();
+    b.assign(n, std::complex<double>{});
+    ComplexStamper stamper(c, a, b);
+    for (const auto& e : c.elements()) e->stamp_ac(stamper, omega);
+    linalg::LuFactorization<std::complex<double>> lu(std::move(a));
+    r.solutions.push_back(lu.solve(b));
+    a.resize(n, n);  // re-allocate after move
+  }
+  return r;
+}
+
+std::vector<double> log_space(double f_lo, double f_hi,
+                              int points_per_decade) {
+  if (f_lo <= 0 || f_hi <= f_lo || points_per_decade < 1)
+    throw std::invalid_argument("log_space: bad range");
+  std::vector<double> out;
+  const double step = std::pow(10.0, 1.0 / points_per_decade);
+  for (double f = f_lo; f < f_hi * (1.0 + 1e-12); f *= step)
+    out.push_back(f);
+  if (out.empty() || out.back() < f_hi * (1.0 - 1e-9)) out.push_back(f_hi);
+  return out;
+}
+
+}  // namespace si::spice

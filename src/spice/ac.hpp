@@ -1,0 +1,35 @@
+// Small-signal AC analysis around the captured DC operating point.
+// Used to measure the class-AB cell's input impedance (the GGA "virtual
+// ground") and the loop dynamics of CMFB vs CMFF.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace si::spice {
+
+/// Result of an AC sweep: for each frequency, the full complex solution.
+struct AcResult {
+  std::vector<double> freq;                        ///< [Hz]
+  std::vector<linalg::ComplexVector> solutions;    ///< per frequency
+
+  /// Complex node voltage at sweep point `k` (0 for ground).
+  std::complex<double> voltage(const Circuit& c, std::size_t k,
+                               NodeId node) const;
+
+  /// |V(node)| in dB20 across the sweep.
+  std::vector<double> magnitude_db(const Circuit& c, NodeId node) const;
+};
+
+/// Runs an AC sweep.  Requires a prior dc_operating_point() so the
+/// elements hold their small-signal parameters.  Excitations are the
+/// sources whose `set_ac_magnitude` is nonzero.
+AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs);
+
+/// Logarithmically spaced frequency list, `points_per_decade` per decade
+/// from f_lo to f_hi inclusive.
+std::vector<double> log_space(double f_lo, double f_hi, int points_per_decade);
+
+}  // namespace si::spice

@@ -1,0 +1,120 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace si::spice {
+
+int newton_solve(Circuit& c, const StampContext& ctx, linalg::Vector& x,
+                 const NewtonOptions& opt, double extra_gdiag) {
+  const std::size_t n = c.system_size();
+  const std::size_t n_nodes = c.node_count() - 1;
+  if (x.size() != n) x.assign(n, 0.0);
+
+  linalg::Matrix a(n, n);
+  linalg::Vector b(n, 0.0);
+
+  bool any_nonlinear = false;
+  for (const auto& e : c.elements())
+    if (e->nonlinear()) any_nonlinear = true;
+
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    a.set_zero();
+    b.assign(n, 0.0);
+    RealStamper stamper(c, a, b, x);
+    for (const auto& e : c.elements()) e->stamp(stamper, ctx);
+    // Solver-level GMIN from every node to ground: keeps nodes isolated
+    // by open switches / cutoff devices out of the singular regime.
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      a(i, i) += opt.gmin + extra_gdiag;
+
+    linalg::Vector x_new;
+    try {
+      linalg::LuFactorization<double> lu(a);
+      x_new = lu.solve(b);
+    } catch (const linalg::SingularMatrixError& e) {
+      throw ConvergenceError(std::string("singular MNA matrix: ") + e.what());
+    }
+
+    if (!any_nonlinear) {
+      // Linear circuits solve exactly in one step; no damping needed.
+      x = std::move(x_new);
+      return it;
+    }
+
+    // Damp: clamp per-node voltage updates to avoid overshooting the
+    // square-law device curves, and check convergence on the raw update.
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dv = x_new[i] - x[i];
+      if (i < n_nodes) {
+        const double tol = opt.v_abstol + opt.v_reltol * std::abs(x[i]);
+        if (std::abs(dv) > tol) converged = false;
+        dv = std::clamp(dv, -opt.max_step, opt.max_step);
+      }
+      x[i] += dv;
+    }
+    if (converged && it > 1) return it;
+  }
+  throw ConvergenceError("Newton iteration did not converge in " +
+                         std::to_string(opt.max_iterations) + " iterations");
+}
+
+DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
+  c.finalize();
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kDcOperatingPoint;
+  ctx.gmin = opt.newton.gmin;
+
+  linalg::Vector x(c.system_size(), 0.0);
+  DcResult r;
+  bool solved = false;
+  try {
+    r.iterations = newton_solve(c, ctx, x, opt.newton);
+    solved = true;
+  } catch (const ConvergenceError&) {
+    if (!opt.gmin_stepping) throw;
+  }
+
+  if (!solved) {
+    // gmin stepping: solve an easier (leaky) circuit first and walk the
+    // leak down in decades, warm-starting each solve.
+    x.assign(c.system_size(), 0.0);
+    double g = opt.gmin_start;
+    while (true) {
+      r.iterations = newton_solve(c, ctx, x, opt.newton, g);
+      if (g <= opt.gmin_final) break;
+      g = std::max(g * 0.1, opt.gmin_final);
+      if (g <= opt.gmin_final * 1.0001) g = 0.0;  // final pass: no leak
+      if (g == 0.0) {
+        r.iterations = newton_solve(c, ctx, x, opt.newton, 0.0);
+        break;
+      }
+    }
+  }
+
+  SolutionView sol(c, x);
+  for (const auto& e : c.elements()) e->accept(sol, ctx);
+  r.x = std::move(x);
+  return r;
+}
+
+std::vector<double> dc_sweep(
+    Circuit& c, const std::vector<double>& values,
+    const std::function<void(double)>& set_point,
+    const std::function<double(const SolutionView&)>& measure,
+    const DcOptions& opt) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    set_point(v);
+    DcResult r = dc_operating_point(c, opt);
+    SolutionView sol(c, r.x);
+    out.push_back(measure(sol));
+  }
+  return out;
+}
+
+}  // namespace si::spice

@@ -1,0 +1,64 @@
+// DC operating point (Newton-Raphson with damping and gmin stepping)
+// and DC sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace si::spice {
+
+/// Newton iteration controls shared by DC and transient analyses.
+struct NewtonOptions {
+  int max_iterations = 200;
+  double v_abstol = 1e-9;   ///< node voltage convergence tolerance [V]
+  double v_reltol = 1e-6;
+  double max_step = 0.5;    ///< per-iteration clamp on voltage updates [V]
+  double gmin = 1e-12;      ///< leak conductance in nonlinear devices
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  /// If plain Newton fails, retry while stepping a diagonal conductance
+  /// from `gmin_start` down to `gmin_final` in decades.
+  bool gmin_stepping = true;
+  double gmin_start = 1e-2;
+  double gmin_final = 1e-12;
+};
+
+/// Thrown when the operating point cannot be found.
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct DcResult {
+  linalg::Vector x;   ///< converged MNA solution
+  int iterations = 0; ///< Newton iterations of the final solve
+};
+
+/// Solves the DC operating point.  On success every element has
+/// accept()ed the solution (operating points captured, capacitor states
+/// initialized).  Throws ConvergenceError on failure.
+DcResult dc_operating_point(Circuit& c, const DcOptions& opt = {});
+
+/// One damped Newton solve at a fixed context; used by DC and transient.
+/// `extra_gdiag` adds a conductance from every node to ground (gmin
+/// stepping / transient never needs it, pass 0).  Returns iterations
+/// used; throws ConvergenceError if not converged.
+int newton_solve(Circuit& c, const StampContext& ctx, linalg::Vector& x,
+                 const NewtonOptions& opt, double extra_gdiag = 0.0);
+
+/// Sweeps a user-controlled parameter: `set_point(value)` mutates the
+/// circuit (e.g. a source level), then the operating point is solved and
+/// `measure` is evaluated.  Returns one measurement per sweep value.
+std::vector<double> dc_sweep(
+    Circuit& c, const std::vector<double>& values,
+    const std::function<void(double)>& set_point,
+    const std::function<double(const SolutionView&)>& measure,
+    const DcOptions& opt = {});
+
+}  // namespace si::spice

@@ -1,0 +1,186 @@
+#include "spice/element.hpp"
+
+#include <stdexcept>
+
+#include "spice/circuit.hpp"
+
+namespace si::spice {
+
+SolutionView::SolutionView(const Circuit& c, const linalg::Vector& x)
+    : circuit_(&c), x_(&x) {
+  if (x.size() != c.system_size())
+    throw std::invalid_argument("SolutionView: vector size mismatch");
+}
+
+double SolutionView::voltage(NodeId n) const {
+  if (n == kGroundNode) return 0.0;
+  return (*x_)[static_cast<std::size_t>(n - 1)];
+}
+
+double SolutionView::branch_current(int branch) const {
+  return (*x_)[circuit_->node_count() - 1 + static_cast<std::size_t>(branch)];
+}
+
+RealStamper::RealStamper(const Circuit& c, linalg::Matrix& a,
+                         linalg::Vector& b, const linalg::Vector& x)
+    : circuit_(&c), a_(&a), b_(&b), x_(&x) {}
+
+int RealStamper::branch_index(int branch) const {
+  return static_cast<int>(circuit_->node_count()) - 1 + branch;
+}
+
+double RealStamper::voltage(NodeId n) const {
+  if (n == kGroundNode) return 0.0;
+  return (*x_)[static_cast<std::size_t>(n - 1)];
+}
+
+double RealStamper::branch_current(int branch) const {
+  return (*x_)[static_cast<std::size_t>(branch_index(branch))];
+}
+
+void RealStamper::conductance(NodeId a, NodeId b, double g) {
+  const int ia = node_index(a);
+  const int ib = node_index(b);
+  if (ia >= 0) (*a_)(ia, ia) += g;
+  if (ib >= 0) (*a_)(ib, ib) += g;
+  if (ia >= 0 && ib >= 0) {
+    (*a_)(ia, ib) -= g;
+    (*a_)(ib, ia) -= g;
+  }
+}
+
+void RealStamper::transconductance(NodeId out_p, NodeId out_m, NodeId cp,
+                                   NodeId cm, double g) {
+  const int ip = node_index(out_p);
+  const int im = node_index(out_m);
+  const int icp = node_index(cp);
+  const int icm = node_index(cm);
+  if (ip >= 0 && icp >= 0) (*a_)(ip, icp) += g;
+  if (ip >= 0 && icm >= 0) (*a_)(ip, icm) -= g;
+  if (im >= 0 && icp >= 0) (*a_)(im, icp) -= g;
+  if (im >= 0 && icm >= 0) (*a_)(im, icm) += g;
+}
+
+void RealStamper::current(NodeId p, NodeId m, double i) {
+  const int ip = node_index(p);
+  const int im = node_index(m);
+  if (ip >= 0) (*b_)[ip] -= i;
+  if (im >= 0) (*b_)[im] += i;
+}
+
+void RealStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
+  const int row = branch_index(branch);
+  const int ip = node_index(p);
+  const int im = node_index(m);
+  if (ip >= 0) {
+    (*a_)(row, ip) += 1.0;
+    (*a_)(ip, row) += 1.0;
+  }
+  if (im >= 0) {
+    (*a_)(row, im) -= 1.0;
+    (*a_)(im, row) -= 1.0;
+  }
+}
+
+void RealStamper::branch_rhs(int branch, double v) {
+  (*b_)[static_cast<std::size_t>(branch_index(branch))] += v;
+}
+
+void RealStamper::branch_row_entry(int branch, NodeId n, double coeff) {
+  const int row = branch_index(branch);
+  const int in = node_index(n);
+  if (in >= 0) (*a_)(row, in) += coeff;
+}
+
+void RealStamper::node_branch_entry(NodeId n, int branch, double coeff) {
+  const int in = node_index(n);
+  const int col = branch_index(branch);
+  if (in >= 0) (*a_)(in, col) += coeff;
+}
+
+void RealStamper::branch_branch_entry(int row_branch, int col_branch,
+                                      double coeff) {
+  (*a_)(branch_index(row_branch), branch_index(col_branch)) += coeff;
+}
+
+ComplexStamper::ComplexStamper(const Circuit& c, linalg::ComplexMatrix& a,
+                               linalg::ComplexVector& b)
+    : circuit_(&c), a_(&a), b_(&b) {}
+
+int ComplexStamper::branch_index(int branch) const {
+  return static_cast<int>(circuit_->node_count()) - 1 + branch;
+}
+
+void ComplexStamper::admittance(NodeId a, NodeId b, std::complex<double> y) {
+  const int ia = node_index(a);
+  const int ib = node_index(b);
+  if (ia >= 0) (*a_)(ia, ia) += y;
+  if (ib >= 0) (*a_)(ib, ib) += y;
+  if (ia >= 0 && ib >= 0) {
+    (*a_)(ia, ib) -= y;
+    (*a_)(ib, ia) -= y;
+  }
+}
+
+void ComplexStamper::transadmittance(NodeId out_p, NodeId out_m, NodeId cp,
+                                     NodeId cm, std::complex<double> y) {
+  const int ip = node_index(out_p);
+  const int im = node_index(out_m);
+  const int icp = node_index(cp);
+  const int icm = node_index(cm);
+  if (ip >= 0 && icp >= 0) (*a_)(ip, icp) += y;
+  if (ip >= 0 && icm >= 0) (*a_)(ip, icm) -= y;
+  if (im >= 0 && icp >= 0) (*a_)(im, icp) -= y;
+  if (im >= 0 && icm >= 0) (*a_)(im, icm) += y;
+}
+
+void ComplexStamper::current(NodeId p, NodeId m, std::complex<double> i) {
+  const int ip = node_index(p);
+  const int im = node_index(m);
+  if (ip >= 0) (*b_)[ip] -= i;
+  if (im >= 0) (*b_)[im] += i;
+}
+
+void ComplexStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
+  const int row = branch_index(branch);
+  const int ip = node_index(p);
+  const int im = node_index(m);
+  if (ip >= 0) {
+    (*a_)(row, ip) += 1.0;
+    (*a_)(ip, row) += 1.0;
+  }
+  if (im >= 0) {
+    (*a_)(row, im) -= 1.0;
+    (*a_)(im, row) -= 1.0;
+  }
+}
+
+void ComplexStamper::branch_rhs(int branch, std::complex<double> v) {
+  (*b_)[static_cast<std::size_t>(branch_index(branch))] += v;
+}
+
+void ComplexStamper::branch_row_entry(int branch, NodeId n,
+                                      std::complex<double> coeff) {
+  const int row = branch_index(branch);
+  const int in = node_index(n);
+  if (in >= 0) (*a_)(row, in) += coeff;
+}
+
+void ComplexStamper::node_branch_entry(NodeId n, int branch,
+                                       std::complex<double> coeff) {
+  const int in = node_index(n);
+  const int col = branch_index(branch);
+  if (in >= 0) (*a_)(in, col) += coeff;
+}
+
+void ComplexStamper::branch_branch_entry(int row_branch, int col_branch,
+                                         std::complex<double> coeff) {
+  (*a_)(branch_index(row_branch), branch_index(col_branch)) += coeff;
+}
+
+void Element::stamp_ac(ComplexStamper&, double) const {
+  // Default: element vanishes in small-signal analysis (e.g. ideal
+  // independent sources contribute nothing unless they are the AC input).
+}
+
+}  // namespace si::spice

@@ -1,0 +1,170 @@
+// Element interface and the stampers through which elements contribute
+// to the MNA system.  Nonlinear elements stamp their Newton companion
+// model (linearization around the current iterate); reactive elements
+// stamp their integration companion (backward Euler or trapezoidal).
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace si::spice {
+
+using NodeId = int;
+constexpr NodeId kGroundNode = 0;
+
+class Circuit;
+
+enum class AnalysisMode {
+  kDcOperatingPoint,  ///< capacitors open, time frozen at t=0
+  kTransient,         ///< reactive companion models active
+};
+
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Per-stamp context: what analysis is running, at what time/step.
+struct StampContext {
+  AnalysisMode mode = AnalysisMode::kDcOperatingPoint;
+  double time = 0.0;
+  double dt = 0.0;
+  double gmin = 1e-12;  ///< leak conductance for nonlinear devices
+  Integrator integrator = Integrator::kTrapezoidal;
+};
+
+/// Read-only view of a solved MNA vector with the circuit's layout.
+class SolutionView {
+ public:
+  SolutionView(const Circuit& c, const linalg::Vector& x);
+
+  /// Node voltage (0 for ground).
+  double voltage(NodeId n) const;
+
+  /// Current through the element that owns `branch`.
+  double branch_current(int branch) const;
+
+  const linalg::Vector& raw() const { return *x_; }
+
+ private:
+  const Circuit* circuit_;
+  const linalg::Vector* x_;
+};
+
+/// Accumulates real (DC / transient Newton) stamps.
+class RealStamper {
+ public:
+  RealStamper(const Circuit& c, linalg::Matrix& a, linalg::Vector& b,
+              const linalg::Vector& x);
+
+  /// Voltage of node `n` in the current Newton iterate.
+  double voltage(NodeId n) const;
+  /// Branch current in the current Newton iterate.
+  double branch_current(int branch) const;
+
+  /// Conductance g between nodes a and b (two-terminal stamp).
+  void conductance(NodeId a, NodeId b, double g);
+  /// Transconductance: current g*(v(cp)-v(cm)) flowing from node `out_p`
+  /// to node `out_m`.
+  void transconductance(NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
+                        double g);
+  /// Independent current i flowing from node `p` into node `m` through
+  /// the element (i.e. leaves p, enters m).
+  void current(NodeId p, NodeId m, double i);
+
+  // Branch-row helpers (voltage-defined elements).
+  void branch_voltage_row(int branch, NodeId p, NodeId m);
+  void branch_rhs(int branch, double v);
+  void branch_row_entry(int branch, NodeId n, double coeff);
+  void node_branch_entry(NodeId n, int branch, double coeff);
+  void branch_branch_entry(int row_branch, int col_branch, double coeff);
+
+ private:
+  int node_index(NodeId n) const { return n - 1; }  // -1 for ground
+  int branch_index(int branch) const;
+
+  const Circuit* circuit_;
+  linalg::Matrix* a_;
+  linalg::Vector* b_;
+  const linalg::Vector* x_;
+};
+
+/// Accumulates complex small-signal (AC) stamps.  Same topology helpers
+/// as RealStamper but with complex admittances.
+class ComplexStamper {
+ public:
+  ComplexStamper(const Circuit& c, linalg::ComplexMatrix& a,
+                 linalg::ComplexVector& b);
+
+  void admittance(NodeId a, NodeId b, std::complex<double> y);
+  void transadmittance(NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
+                       std::complex<double> y);
+  void current(NodeId p, NodeId m, std::complex<double> i);
+  void branch_voltage_row(int branch, NodeId p, NodeId m);
+  void branch_rhs(int branch, std::complex<double> v);
+  void branch_row_entry(int branch, NodeId n, std::complex<double> coeff);
+  void node_branch_entry(NodeId n, int branch, std::complex<double> coeff);
+  void branch_branch_entry(int row_branch, int col_branch,
+                           std::complex<double> coeff);
+
+ private:
+  int node_index(NodeId n) const { return n - 1; }
+  int branch_index(int branch) const;
+
+  const Circuit* circuit_;
+  linalg::ComplexMatrix* a_;
+  linalg::ComplexVector* b_;
+};
+
+/// A device noise generator: a current source of the given one-sided PSD
+/// [A^2/Hz] injected between two nodes.
+struct NoiseSource {
+  NodeId node_p = kGroundNode;
+  NodeId node_m = kGroundNode;
+  std::function<double(double f)> psd;
+  std::string label;
+};
+
+/// Base class for all circuit elements.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// One-time hook before analysis: allocate branch unknowns etc.
+  virtual void setup(Circuit&) {}
+
+  /// Contributes the element's (possibly linearized) stamp.
+  virtual void stamp(RealStamper& s, const StampContext& ctx) = 0;
+
+  /// Called once per accepted transient step (and once after DC OP) with
+  /// the converged solution; reactive and nonlinear elements update their
+  /// internal state / stored operating point here.
+  virtual void accept(const SolutionView&, const StampContext&) {}
+
+  /// True if the element requires Newton iteration.
+  virtual bool nonlinear() const { return false; }
+
+  /// Small-signal stamp at angular frequency `omega`, linearized around
+  /// the operating point captured by the last accept().
+  virtual void stamp_ac(ComplexStamper&, double omega) const;
+
+  /// Appends this element's noise generators (PSDs evaluated at the
+  /// captured operating point).
+  virtual void append_noise(std::vector<NoiseSource>&) const {}
+
+  /// Power dissipated at the last accepted solution [W]; 0 if not
+  /// meaningful for the element.
+  virtual double dissipated_power(const SolutionView&) const { return 0.0; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace si::spice

@@ -1,0 +1,220 @@
+// Linear circuit elements: resistor, capacitor, independent sources,
+// controlled sources, and the clock-controlled switch used for SI
+// sampling phases.
+#pragma once
+
+#include <memory>
+
+#include "spice/element.hpp"
+#include "spice/waveform.hpp"
+
+namespace si::spice {
+
+/// Physical constants used by device and noise models.
+constexpr double kBoltzmann = 1.380649e-23;  // [J/K]
+constexpr double kRoomTemperature = 300.0;   // [K]
+
+/// Shared companion-model state for a linear capacitance between two
+/// nodes.  Used by Capacitor and by the MOSFET's gate capacitances.
+class CompanionCap {
+ public:
+  explicit CompanionCap(double c) : c_(c) {}
+
+  double capacitance() const { return c_; }
+
+  /// Stamps the integration companion (open circuit at DC).
+  void stamp(RealStamper& s, const StampContext& ctx, NodeId p, NodeId m) const;
+
+  /// Updates stored voltage/current after an accepted step.
+  void accept(const SolutionView& sol, const StampContext& ctx, NodeId p,
+              NodeId m);
+
+  void stamp_ac(ComplexStamper& s, double omega, NodeId p, NodeId m) const;
+
+ private:
+  double companion_g(const StampContext& ctx) const;
+
+  double c_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Linear resistor with thermal noise 4kT/R.
+class Resistor final : public Element {
+ public:
+  Resistor(std::string name, NodeId p, NodeId m, double ohms,
+           double temperature = kRoomTemperature);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  void append_noise(std::vector<NoiseSource>& out) const override;
+  double dissipated_power(const SolutionView& sol) const override;
+
+  double resistance() const { return ohms_; }
+
+ private:
+  NodeId p_, m_;
+  double ohms_;
+  double temperature_;
+};
+
+/// Linear capacitor (companion model in transient, open at DC).
+class Capacitor final : public Element {
+ public:
+  Capacitor(std::string name, NodeId p, NodeId m, double farads);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void accept(const SolutionView& sol, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+  double capacitance() const { return cap_.capacitance(); }
+
+ private:
+  NodeId p_, m_;
+  CompanionCap cap_;
+};
+
+/// Independent current source; positive current flows from node p
+/// through the source into node m.
+class CurrentSource final : public Element {
+ public:
+  CurrentSource(std::string name, NodeId p, NodeId m,
+                std::unique_ptr<Waveform> wave);
+  CurrentSource(std::string name, NodeId p, NodeId m, double dc_amps);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+  /// Magnitude of the small-signal excitation for AC analysis (default 0).
+  void set_ac_magnitude(double mag) { ac_magnitude_ = mag; }
+
+  /// Replaces the stimulus with a DC level (used by parameter sweeps).
+  void set_level(double amps) { wave_ = std::make_unique<DcWave>(amps); }
+
+  /// Replaces the stimulus waveform.
+  void set_waveform(std::unique_ptr<Waveform> wave);
+
+ private:
+  NodeId p_, m_;
+  std::unique_ptr<Waveform> wave_;
+  double ac_magnitude_ = 0.0;
+};
+
+/// Independent voltage source (adds one branch-current unknown).
+class VoltageSource final : public Element {
+ public:
+  VoltageSource(std::string name, NodeId p, NodeId m,
+                std::unique_ptr<Waveform> wave);
+  VoltageSource(std::string name, NodeId p, NodeId m, double dc_volts);
+
+  void setup(Circuit& c) override;
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+  double dissipated_power(const SolutionView& sol) const override;
+
+  void set_ac_magnitude(double mag) { ac_magnitude_ = mag; }
+
+  /// Replaces the stimulus with a DC level (used by parameter sweeps).
+  void set_level(double volts) { wave_ = std::make_unique<DcWave>(volts); }
+
+  /// Replaces the stimulus waveform.
+  void set_waveform(std::unique_ptr<Waveform> wave);
+
+  /// Branch index carrying this source's current (valid after setup()).
+  int branch() const { return branch_; }
+
+ private:
+  NodeId p_, m_;
+  std::unique_ptr<Waveform> wave_;
+  double ac_magnitude_ = 0.0;
+  int branch_ = -1;
+};
+
+/// Voltage-controlled current source: i(out) = gm * (v(cp) - v(cm)).
+class Vccs final : public Element {
+ public:
+  Vccs(std::string name, NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
+       double gm);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  NodeId out_p_, out_m_, cp_, cm_;
+  double gm_;
+};
+
+/// Voltage-controlled voltage source: v(p) - v(m) = k * (v(cp) - v(cm)).
+class Vcvs final : public Element {
+ public:
+  Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm, double k);
+
+  void setup(Circuit& c) override;
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  NodeId p_, m_, cp_, cm_;
+  double k_;
+  int branch_ = -1;
+};
+
+/// Current-controlled current source: i(out) = k * i(sensed branch).
+/// The sensing element must be a voltage-defined branch (a
+/// VoltageSource, often a 0 V ammeter).
+class Cccs final : public Element {
+ public:
+  Cccs(std::string name, NodeId out_p, NodeId out_m,
+       const VoltageSource& sense, double gain);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  NodeId out_p_, out_m_;
+  const VoltageSource* sense_;
+  double gain_;
+};
+
+/// Current-controlled voltage source: v(p) - v(m) = k * i(sensed branch).
+class Ccvs final : public Element {
+ public:
+  Ccvs(std::string name, NodeId p, NodeId m, const VoltageSource& sense,
+       double transresistance);
+
+  void setup(Circuit& c) override;
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+ private:
+  NodeId p_, m_;
+  const VoltageSource* sense_;
+  double k_;
+  int branch_ = -1;
+};
+
+/// Clock-controlled switch: a resistor of `r_on` when the control
+/// waveform exceeds `threshold`, else `r_off`.  The idealized stand-in
+/// for a MOS sampling switch when charge injection is not under study
+/// (use a real Mosfet driven by a clock VoltageSource when it is).
+class Switch final : public Element {
+ public:
+  Switch(std::string name, NodeId p, NodeId m, std::unique_ptr<Waveform> ctrl,
+         double r_on = 1.0, double r_off = 1e12, double threshold = 0.5);
+
+  void stamp(RealStamper& s, const StampContext& ctx) override;
+  void accept(const SolutionView& sol, const StampContext& ctx) override;
+  void stamp_ac(ComplexStamper& s, double omega) const override;
+
+  bool is_on(double t) const;
+
+ private:
+  double conductance_at(double t, AnalysisMode mode) const;
+
+  NodeId p_, m_;
+  std::unique_ptr<Waveform> ctrl_;
+  double g_on_, g_off_, threshold_;
+  double last_g_;
+};
+
+}  // namespace si::spice

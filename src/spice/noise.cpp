@@ -1,0 +1,84 @@
+#include "spice/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace si::spice {
+
+double NoiseResult::integrated_power(double f_lo, double f_hi) const {
+  double acc = 0.0;
+  for (std::size_t k = 1; k < freq.size(); ++k) {
+    const double fa = freq[k - 1];
+    const double fb = freq[k];
+    if (fb <= f_lo || fa >= f_hi) continue;
+    const double a = std::max(fa, f_lo);
+    const double b = std::min(fb, f_hi);
+    // Linear interpolation of the PSD inside the segment.
+    auto psd_at = [&](double f) {
+      const double t = (f - fa) / (fb - fa);
+      return total_psd[k - 1] + t * (total_psd[k] - total_psd[k - 1]);
+    };
+    acc += 0.5 * (psd_at(a) + psd_at(b)) * (b - a);
+  }
+  return acc;
+}
+
+double NoiseResult::rms(double f_lo, double f_hi) const {
+  return std::sqrt(integrated_power(f_lo, f_hi));
+}
+
+NoiseResult noise_analysis(Circuit& c, const NoiseOptions& opt) {
+  c.finalize();
+  if (opt.freqs.empty())
+    throw std::invalid_argument("noise_analysis: no frequencies");
+  const std::size_t n = c.system_size();
+
+  std::vector<NoiseSource> sources;
+  for (const auto& e : c.elements()) e->append_noise(sources);
+
+  NoiseResult r;
+  r.freq = opt.freqs;
+  r.total_psd.assign(opt.freqs.size(), 0.0);
+  r.by_source.resize(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    r.by_source[s].label = sources[s].label;
+    r.by_source[s].psd.assign(opt.freqs.size(), 0.0);
+  }
+
+  linalg::ComplexMatrix a(n, n);
+  linalg::ComplexVector b(n);
+  for (std::size_t k = 0; k < opt.freqs.size(); ++k) {
+    const double f = opt.freqs[k];
+    const double omega = 2.0 * std::numbers::pi * f;
+    a.set_zero();
+    ComplexStamper stamper(c, a, b);  // b unused for stamping matrix
+    for (const auto& e : c.elements()) e->stamp_ac(stamper, omega);
+    linalg::LuFactorization<std::complex<double>> lu(std::move(a));
+    a.resize(n, n);
+
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const NoiseSource& src = sources[s];
+      b.assign(n, std::complex<double>{});
+      // Unit current from node_p through the source into node_m.
+      if (src.node_p != kGroundNode)
+        b[static_cast<std::size_t>(src.node_p - 1)] -= 1.0;
+      if (src.node_m != kGroundNode)
+        b[static_cast<std::size_t>(src.node_m - 1)] += 1.0;
+      const linalg::ComplexVector x = lu.solve(b);
+      auto v_of = [&](NodeId node) -> std::complex<double> {
+        if (node == kGroundNode) return {0.0, 0.0};
+        return x[static_cast<std::size_t>(node - 1)];
+      };
+      const std::complex<double> h = v_of(opt.output_p) - v_of(opt.output_m);
+      const double contribution = std::norm(h) * src.psd(f);
+      r.by_source[s].psd[k] = contribution;
+      r.total_psd[k] += contribution;
+    }
+  }
+  return r;
+}
+
+}  // namespace si::spice

@@ -1,0 +1,41 @@
+// Small-signal noise analysis: every device noise generator is injected
+// as a current source, its transfer to a differential output is computed
+// from the AC system, and the PSDs are summed.  This is the tool behind
+// the paper's "calculated rms noise current ~33 nA" budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace si::spice {
+
+struct NoiseOptions {
+  NodeId output_p = kGroundNode;  ///< output sensed as v(p) - v(m)
+  NodeId output_m = kGroundNode;
+  std::vector<double> freqs;      ///< analysis frequencies [Hz]
+};
+
+struct NoiseContribution {
+  std::string label;
+  std::vector<double> psd;  ///< output-referred PSD [V^2/Hz] per frequency
+};
+
+struct NoiseResult {
+  std::vector<double> freq;
+  std::vector<double> total_psd;               ///< [V^2/Hz]
+  std::vector<NoiseContribution> by_source;
+
+  /// Integrated output noise power over [f_lo, f_hi] by trapezoid rule
+  /// on the total PSD [V^2].
+  double integrated_power(double f_lo, double f_hi) const;
+
+  /// RMS output noise over the band [V].
+  double rms(double f_lo, double f_hi) const;
+};
+
+/// Runs the noise analysis.  Requires a prior dc_operating_point().
+NoiseResult noise_analysis(Circuit& c, const NoiseOptions& opt);
+
+}  // namespace si::spice

@@ -1,0 +1,54 @@
+#include "spice/op_report.hpp"
+
+#include <stdexcept>
+
+#include "spice/elements.hpp"
+
+namespace si::spice {
+
+std::string region_name(MosRegion r) {
+  switch (r) {
+    case MosRegion::kCutoff: return "cutoff";
+    case MosRegion::kTriode: return "triode";
+    case MosRegion::kSaturation: return "saturation";
+  }
+  return "unknown";
+}
+
+bool OperatingPointReport::all_saturated() const {
+  for (const auto& d : devices)
+    if (d.region != MosRegion::kSaturation) return false;
+  return !devices.empty();
+}
+
+const DeviceOperatingPoint& OperatingPointReport::device(
+    const std::string& name) const {
+  for (const auto& d : devices)
+    if (d.name == name) return d;
+  throw std::out_of_range("OperatingPointReport: no device named " + name);
+}
+
+OperatingPointReport op_report(const Circuit& c,
+                               const linalg::Vector& solution) {
+  OperatingPointReport r;
+  SolutionView sol(c, solution);
+  for (const auto& e : c.elements()) {
+    if (const auto* m = dynamic_cast<const Mosfet*>(e.get())) {
+      DeviceOperatingPoint d;
+      d.name = m->name();
+      d.region = m->region();
+      d.id = m->id();
+      d.vgs = m->vgs();
+      d.vds = m->vds();
+      d.vdsat = m->vdsat();
+      d.gm = m->gm();
+      d.gds = m->gds();
+      r.devices.push_back(d);
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(e.get())) {
+      r.supply_power += v->dissipated_power(sol);
+    }
+  }
+  return r;
+}
+
+}  // namespace si::spice

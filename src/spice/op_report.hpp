@@ -1,0 +1,47 @@
+// Operating-point reporting: the per-device table every circuit
+// designer prints after a DC solve (region, currents, small-signal
+// parameters), plus total supply power.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/mosfet.hpp"
+
+namespace si::spice {
+
+struct DeviceOperatingPoint {
+  std::string name;
+  MosRegion region = MosRegion::kCutoff;
+  double id = 0.0;    ///< drain current [A]
+  double vgs = 0.0;
+  double vds = 0.0;
+  double vdsat = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+struct OperatingPointReport {
+  std::vector<DeviceOperatingPoint> devices;
+  /// Power delivered by all voltage sources [W].
+  double supply_power = 0.0;
+
+  /// True iff every MOSFET is in saturation (the SI design condition of
+  /// the paper's Eqs. (1)-(2)).
+  bool all_saturated() const;
+
+  /// Device row by name; throws std::out_of_range if absent.
+  const DeviceOperatingPoint& device(const std::string& name) const;
+};
+
+/// Collects the report from the circuit's captured operating point
+/// (requires a prior dc_operating_point()).  `solution` is the solved
+/// MNA vector from the DcResult.
+OperatingPointReport op_report(const Circuit& c,
+                               const linalg::Vector& solution);
+
+/// Human-readable region name.
+std::string region_name(MosRegion r);
+
+}  // namespace si::spice

@@ -1,0 +1,382 @@
+#include "spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+
+namespace si::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Splits a line into tokens; '(', ')', ',' and '=' act as separators
+/// but '=' is kept as its own token so "W=10u" -> {"w", "=", "10u"}.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(lower(cur));
+      cur.clear();
+    }
+  };
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+        c == ')' || c == ',') {
+      flush();
+    } else if (c == '=') {
+      flush();
+      out.push_back("=");
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+double parse_value(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  // "meg" must be matched before 'm'.
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  static const std::map<char, double> scale = {
+      {'f', 1e-15}, {'p', 1e-12}, {'n', 1e-9}, {'u', 1e-6}, {'m', 1e-3},
+      {'k', 1e3},   {'g', 1e9},   {'t', 1e12}};
+  const auto it = scale.find(suffix[0]);
+  if (it == scale.end())
+    throw std::invalid_argument("bad value suffix: " + token);
+  return v * it->second;
+}
+
+namespace {
+
+/// Cursor over the tokens of one logical line.
+class TokenCursor {
+ public:
+  TokenCursor(std::vector<std::string> tokens, std::size_t line)
+      : tokens_(std::move(tokens)), line_(line) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  std::size_t remaining() const { return tokens_.size() - pos_; }
+
+  const std::string& peek() const {
+    if (done()) throw ParseError(line_, "unexpected end of line");
+    return tokens_[pos_];
+  }
+  std::string next() {
+    if (done()) throw ParseError(line_, "unexpected end of line");
+    return tokens_[pos_++];
+  }
+  double next_value() {
+    const std::string t = next();
+    try {
+      return parse_value(t);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line_, e.what());
+    }
+  }
+  std::size_t line() const { return line_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+/// Parses the trailing "key=value ..." pairs into a map.
+std::map<std::string, double> parse_kv(TokenCursor& cur) {
+  std::map<std::string, double> kv;
+  while (!cur.done()) {
+    const std::string key = cur.next();
+    if (cur.done() || cur.peek() != "=")
+      throw ParseError(cur.line(), "expected '=' after '" + key + "'");
+    cur.next();  // consume '='
+    kv[key] = cur.next_value();
+  }
+  return kv;
+}
+
+/// Parses a stimulus specification: DC v | SIN(...) | PULSE(...) |
+/// PWL(...), or a bare number (treated as DC).
+std::unique_ptr<Waveform> parse_stimulus(TokenCursor& cur) {
+  const std::string kind = cur.peek();
+  if (kind == "dc") {
+    cur.next();
+    return std::make_unique<DcWave>(cur.next_value());
+  }
+  if (kind == "sin") {
+    cur.next();
+    const double off = cur.next_value();
+    const double amp = cur.next_value();
+    const double freq = cur.next_value();
+    double delay = 0.0, phase = 0.0;
+    auto more = [&] {
+      return !cur.done() && cur.peek() != "ron" && cur.peek() != "ac";
+    };
+    if (more()) delay = cur.next_value();
+    if (more()) phase = cur.next_value();
+    return std::make_unique<SineWave>(off, amp, freq, delay, phase);
+  }
+  if (kind == "pulse") {
+    cur.next();
+    const double v1 = cur.next_value();
+    const double v2 = cur.next_value();
+    const double td = cur.next_value();
+    const double tr = cur.next_value();
+    const double tf = cur.next_value();
+    const double pw = cur.next_value();
+    const double period = cur.next_value();
+    return std::make_unique<PulseWave>(v1, v2, td, tr, tf, pw, period);
+  }
+  if (kind == "pwl") {
+    cur.next();
+    std::vector<std::pair<double, double>> pts;
+    while (!cur.done()) {
+      const double t = cur.next_value();
+      const double v = cur.next_value();
+      pts.emplace_back(t, v);
+    }
+    if (pts.size() < 2) throw ParseError(cur.line(), "PWL needs >= 2 points");
+    return std::make_unique<PwlWave>(std::move(pts));
+  }
+  // Bare number: DC level.
+  return std::make_unique<DcWave>(cur.next_value());
+}
+
+void expect_done(const TokenCursor& cur) {
+  if (!cur.done())
+    throw ParseError(cur.line(), "trailing tokens on element card");
+}
+
+struct ModelDef {
+  MosType type = MosType::kNmos;
+  MosfetParams params;
+};
+
+MosfetParams apply_model_kv(MosfetParams p,
+                            const std::map<std::string, double>& kv,
+                            std::size_t line) {
+  for (const auto& [k, v] : kv) {
+    if (k == "kp") p.kp = v;
+    else if (k == "vto" || k == "vt0") p.vt0 = v;
+    else if (k == "lambda") p.lambda = v;
+    else if (k == "gamma") p.gamma = v;
+    else if (k == "phi") p.phi = v;
+    else if (k == "cgs") p.cgs = v;
+    else if (k == "cgd") p.cgd = v;
+    else if (k == "kf") p.kf = v;
+    else if (k == "w") p.w = v;
+    else if (k == "l") p.l = v;
+    else throw ParseError(line, "unknown model parameter '" + k + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+Circuit parse_netlist(const std::string& deck) {
+  // Join continuation lines ('+' prefix) and strip comments.
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  {
+    std::istringstream in(deck);
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      // Strip end-of-line comments (';' or '$').
+      const auto cut = raw.find_first_of(";$");
+      if (cut != std::string::npos) raw.resize(cut);
+      // Trim.
+      const auto b = raw.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      const auto e = raw.find_last_not_of(" \t\r");
+      std::string s = raw.substr(b, e - b + 1);
+      if (s[0] == '*') continue;  // comment card
+      if (s[0] == '+') {
+        if (lines.empty())
+          throw ParseError(lineno, "continuation with no previous card");
+        lines.back().second += " " + s.substr(1);
+      } else {
+        lines.emplace_back(lineno, std::move(s));
+      }
+    }
+  }
+
+  // First pass: collect .model cards.
+  std::map<std::string, ModelDef> models;
+  for (const auto& [lineno, text] : lines) {
+    auto toks = tokenize(text);
+    if (toks.empty() || toks[0] != ".model") continue;
+    TokenCursor cur(std::move(toks), lineno);
+    cur.next();  // .model
+    const std::string name = cur.next();
+    const std::string type = cur.next();
+    ModelDef def;
+    if (type == "nmos") def.type = MosType::kNmos;
+    else if (type == "pmos") def.type = MosType::kPmos;
+    else throw ParseError(lineno, "model type must be NMOS or PMOS");
+    def.params = apply_model_kv(def.params, parse_kv(cur), lineno);
+    models[name] = def;
+  }
+
+  Circuit c;
+  for (const auto& [lineno, text] : lines) {
+    auto toks = tokenize(text);
+    if (toks.empty()) continue;
+    if (toks[0] == ".model") continue;
+    if (toks[0] == ".end") break;
+    if (toks[0][0] == '.')
+      throw ParseError(lineno, "unsupported directive '" + toks[0] + "'");
+
+    TokenCursor cur(std::move(toks), lineno);
+    const std::string name = cur.next();
+    const char kind = name[0];
+    switch (kind) {
+      case 'r': {
+        const NodeId a = c.node(cur.next());
+        const NodeId b = c.node(cur.next());
+        c.add<Resistor>(name, a, b, cur.next_value());
+        expect_done(cur);
+        break;
+      }
+      case 'c': {
+        const NodeId a = c.node(cur.next());
+        const NodeId b = c.node(cur.next());
+        c.add<Capacitor>(name, a, b, cur.next_value());
+        expect_done(cur);
+        break;
+      }
+      case 'v': {
+        const NodeId a = c.node(cur.next());
+        const NodeId b = c.node(cur.next());
+        auto& src = c.add<VoltageSource>(name, a, b, parse_stimulus(cur));
+        if (!cur.done() && cur.peek() == "ac") {
+          cur.next();
+          src.set_ac_magnitude(cur.next_value());
+        }
+        expect_done(cur);
+        break;
+      }
+      case 'i': {
+        const NodeId a = c.node(cur.next());
+        const NodeId b = c.node(cur.next());
+        auto& src = c.add<CurrentSource>(name, a, b, parse_stimulus(cur));
+        if (!cur.done() && cur.peek() == "ac") {
+          cur.next();
+          src.set_ac_magnitude(cur.next_value());
+        }
+        expect_done(cur);
+        break;
+      }
+      case 'g': {
+        const NodeId op = c.node(cur.next());
+        const NodeId om = c.node(cur.next());
+        const NodeId cp = c.node(cur.next());
+        const NodeId cm = c.node(cur.next());
+        c.add<Vccs>(name, op, om, cp, cm, cur.next_value());
+        expect_done(cur);
+        break;
+      }
+      case 'e': {
+        const NodeId op = c.node(cur.next());
+        const NodeId om = c.node(cur.next());
+        const NodeId cp = c.node(cur.next());
+        const NodeId cm = c.node(cur.next());
+        c.add<Vcvs>(name, op, om, cp, cm, cur.next_value());
+        expect_done(cur);
+        break;
+      }
+      case 'f':
+      case 'h': {
+        // F/H out+ out- Vsense gain — the sensing source must appear
+        // earlier in the deck.
+        const NodeId op = c.node(cur.next());
+        const NodeId om = c.node(cur.next());
+        const std::string sense_name = cur.next();
+        const auto* sense =
+            dynamic_cast<const VoltageSource*>(c.find(sense_name));
+        if (!sense)
+          throw ParseError(lineno, "controlled source '" + name +
+                                       "' references unknown voltage "
+                                       "source '" + sense_name + "'");
+        const double gain = cur.next_value();
+        if (kind == 'f')
+          c.add<Cccs>(name, op, om, *sense, gain);
+        else
+          c.add<Ccvs>(name, op, om, *sense, gain);
+        expect_done(cur);
+        break;
+      }
+      case 's': {
+        const NodeId a = c.node(cur.next());
+        const NodeId b = c.node(cur.next());
+        auto wave = parse_stimulus(cur);
+        double ron = 1.0, roff = 1e12, vth = 0.5;
+        if (!cur.done()) ron = cur.next_value();
+        if (!cur.done()) roff = cur.next_value();
+        if (!cur.done()) vth = cur.next_value();
+        c.add<Switch>(name, a, b, std::move(wave), ron, roff, vth);
+        expect_done(cur);
+        break;
+      }
+      case 'm': {
+        // M d g s [b] model [W=..] [L=..] — the 4th token is a bulk
+        // node iff a 5th non-kv token follows.
+        const NodeId d = c.node(cur.next());
+        const NodeId g = c.node(cur.next());
+        const NodeId s = c.node(cur.next());
+        std::string t4 = cur.next();
+        bool has_bulk = false;
+        NodeId bnode = kGroundNode;
+        std::string model_name = t4;
+        if (!cur.done() && cur.peek() != "=") {
+          // Peek ahead: if the next token is a model name (not k=v), t4
+          // was the bulk node.
+          const std::string t5 = cur.peek();
+          if (models.count(t5)) {
+            has_bulk = true;
+            bnode = c.node(t4);
+            model_name = cur.next();
+          }
+        }
+        const auto it = models.find(model_name);
+        if (it == models.end())
+          throw ParseError(lineno, "unknown model '" + model_name + "'");
+        MosfetParams p =
+            apply_model_kv(it->second.params, parse_kv(cur), lineno);
+        if (has_bulk)
+          c.add<Mosfet>(name, it->second.type, d, g, s, bnode, p);
+        else
+          c.add<Mosfet>(name, it->second.type, d, g, s, p);
+        break;
+      }
+      default:
+        throw ParseError(lineno, "unknown element card '" + name + "'");
+    }
+  }
+  return c;
+}
+
+}  // namespace si::spice

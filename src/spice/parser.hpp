@@ -1,0 +1,58 @@
+// Text netlist parser, SPICE-flavoured.  Lets tests, examples, and
+// downstream users describe circuits as decks instead of C++:
+//
+//   * class-AB memory pair
+//   .model nmem NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+//   .model pmem PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+//   Vdd vdd 0 DC 3.3
+//   MN  d gn 0   nmem W=2u  L=20u
+//   MP  d gp vdd pmem W=5u  L=20u
+//   Iin 0 d DC 8u
+//   .end
+//
+// Supported cards (case-insensitive first letter dispatch):
+//   R<name> n+ n- value
+//   C<name> n+ n- value
+//   V<name> n+ n- [DC v | SIN(off amp freq [delay phase]) |
+//                  PULSE(v1 v2 td tr tf pw period) | PWL(t1 v1 t2 v2 ...)]
+//   I<name> n+ n- <same stimulus forms as V>
+//   G<name> out+ out- c+ c- gm          (VCCS)
+//   E<name> out+ out- c+ c- gain        (VCVS)
+//   S<name> n+ n- <stimulus> [ron roff [vth]]   (waveform-driven switch)
+//   M<name> d g s [b] model [W=..] [L=..]
+//   .model <name> NMOS|PMOS (KP=.. VTO=.. LAMBDA=.. GAMMA=.. PHI=..
+//                            CGS=.. CGD=.. KF=..)
+//   .end, '*' comments, '+' continuation lines
+//
+// Engineering suffixes: f p n u m k meg g t (e.g. 10k, 1p, 2.45meg).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace si::spice {
+
+/// Parse failure with 1-based line information.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a deck into a fresh circuit.  Throws ParseError on malformed
+/// input.
+Circuit parse_netlist(const std::string& deck);
+
+/// Parses a single engineering-notation value ("10k", "0.15p", "2.45meg").
+/// Throws std::invalid_argument on garbage.
+double parse_value(const std::string& token);
+
+}  // namespace si::spice

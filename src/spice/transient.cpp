@@ -1,0 +1,150 @@
+#include "spice/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/elements.hpp"
+
+namespace si::spice {
+
+const std::vector<double>& TransientResult::signal(
+    const std::string& name) const {
+  auto it = signals.find(name);
+  if (it == signals.end())
+    throw std::out_of_range("TransientResult: no signal named " + name);
+  return it->second;
+}
+
+Transient::Transient(Circuit& c, TransientOptions opt)
+    : circuit_(&c), opt_(opt) {
+  if (opt_.t_stop <= 0.0 || opt_.dt <= 0.0)
+    throw std::invalid_argument("Transient: t_stop and dt must be > 0");
+}
+
+void Transient::probe_voltage(const std::string& node_name) {
+  voltage_probes_.push_back(node_name);
+}
+
+void Transient::probe_current(const std::string& vsource_name) {
+  current_probes_.push_back(vsource_name);
+}
+
+void Transient::set_initial_voltage(const std::string& node_name,
+                                    double volts) {
+  initial_voltages_.emplace_back(node_name, volts);
+  opt_.start_from_dc = false;
+}
+
+TransientResult Transient::run(
+    const std::function<void(double, const SolutionView&)>& on_step) {
+  Circuit& c = *circuit_;
+  c.finalize();
+
+  // Resolve probes up front.
+  std::vector<std::pair<std::string, NodeId>> v_probes;
+  for (const auto& n : voltage_probes_) v_probes.emplace_back("v(" + n + ")", c.node(n));
+  std::vector<std::pair<std::string, const VoltageSource*>> i_probes;
+  for (const auto& n : current_probes_) {
+    const auto* vs = dynamic_cast<const VoltageSource*>(c.find(n));
+    if (!vs)
+      throw std::invalid_argument("Transient: no voltage source named " + n);
+    i_probes.emplace_back("i(" + n + ")", vs);
+  }
+
+  linalg::Vector x(c.system_size(), 0.0);
+  if (opt_.start_from_dc) {
+    DcOptions dco;
+    dco.newton = opt_.newton;
+    DcResult op = dc_operating_point(c, dco);
+    x = std::move(op.x);
+  } else {
+    for (const auto& [name, volts] : initial_voltages_) {
+      const NodeId node = c.node(name);
+      if (node != kGroundNode)
+        x[static_cast<std::size_t>(node - 1)] = volts;
+    }
+    StampContext ctx0;
+    ctx0.mode = AnalysisMode::kDcOperatingPoint;
+    SolutionView sol(c, x);
+    for (const auto& e : c.elements()) e->accept(sol, ctx0);
+  }
+
+  const auto steps = static_cast<std::size_t>(
+      std::llround(opt_.t_stop / opt_.dt));
+
+  TransientResult result;
+  result.time.reserve(steps + 1);
+  for (const auto& [label, _] : v_probes) result.signals[label] = {};
+  for (const auto& [label, _] : i_probes) result.signals[label] = {};
+
+  auto record = [&](double t, const SolutionView& sol) {
+    result.time.push_back(t);
+    for (const auto& [label, node] : v_probes)
+      result.signals[label].push_back(sol.voltage(node));
+    for (const auto& [label, vs] : i_probes)
+      result.signals[label].push_back(sol.branch_current(vs->branch()));
+    if (on_step) on_step(t, sol);
+  };
+
+  {
+    SolutionView sol0(c, x);
+    record(0.0, sol0);
+  }
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.dt = opt_.dt;
+  ctx.gmin = opt_.newton.gmin;
+  ctx.integrator = opt_.integrator;
+
+  if (!opt_.adaptive) {
+    for (std::size_t k = 1; k <= steps; ++k) {
+      ctx.time = static_cast<double>(k) * opt_.dt;
+      newton_solve(c, ctx, x, opt_.newton);
+      SolutionView sol(c, x);
+      for (const auto& e : c.elements()) e->accept(sol, ctx);
+      record(ctx.time, sol);
+    }
+    return result;
+  }
+
+  // Adaptive stepping.  Element reactive state only changes in
+  // accept(), so a step can be re-solved at a different dt freely.
+  const std::size_t n_nodes = c.node_count() - 1;
+  const double dt_min = opt_.dt_min > 0 ? opt_.dt_min : opt_.dt / 1024.0;
+  const double dt_max = opt_.dt_max > 0 ? opt_.dt_max : opt_.dt * 16.0;
+  double t = 0.0;
+  double dt = opt_.dt;
+  while (t < opt_.t_stop - 1e-18 * opt_.t_stop) {
+    dt = std::min(dt, opt_.t_stop - t);
+    ctx.time = t + dt;
+    ctx.dt = dt;
+
+    ctx.integrator = Integrator::kTrapezoidal;
+    linalg::Vector x_trap = x;
+    newton_solve(c, ctx, x_trap, opt_.newton);
+    ctx.integrator = Integrator::kBackwardEuler;
+    linalg::Vector x_be = x;
+    newton_solve(c, ctx, x_be, opt_.newton);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      err = std::max(err, std::abs(x_trap[i] - x_be[i]));
+
+    if (err > opt_.lte_tol && dt > dt_min * 1.0001) {
+      dt = std::max(0.5 * dt, dt_min);
+      continue;  // reject and retry with a smaller step
+    }
+    // Accept the (more accurate) trapezoidal solution.
+    x = std::move(x_trap);
+    ctx.integrator = Integrator::kTrapezoidal;
+    SolutionView sol(c, x);
+    for (const auto& e : c.elements()) e->accept(sol, ctx);
+    t = ctx.time;
+    record(t, sol);
+    if (err < 0.25 * opt_.lte_tol) dt = std::min(2.0 * dt, dt_max);
+  }
+  return result;
+}
+
+}  // namespace si::spice

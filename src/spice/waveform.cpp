@@ -1,0 +1,91 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace si::spice {
+
+SineWave::SineWave(double offset, double amplitude, double freq_hz,
+                   double delay, double phase_rad)
+    : offset_(offset),
+      amplitude_(amplitude),
+      freq_(freq_hz),
+      delay_(delay),
+      phase_(phase_rad) {
+  if (freq_hz <= 0.0) throw std::invalid_argument("SineWave: freq must be > 0");
+}
+
+double SineWave::value(double t) const {
+  if (t < delay_) return offset_;
+  return offset_ + amplitude_ * std::sin(2.0 * std::numbers::pi * freq_ *
+                                             (t - delay_) +
+                                         phase_);
+}
+
+PulseWave::PulseWave(double v1, double v2, double delay, double rise,
+                     double fall, double width, double period)
+    : v1_(v1),
+      v2_(v2),
+      delay_(delay),
+      rise_(rise),
+      fall_(fall),
+      width_(width),
+      period_(period) {
+  if (period <= 0.0) throw std::invalid_argument("PulseWave: period > 0");
+  if (rise < 0 || fall < 0 || width < 0)
+    throw std::invalid_argument("PulseWave: negative timing");
+  if (rise + width + fall > period)
+    throw std::invalid_argument("PulseWave: pulse longer than period");
+}
+
+double PulseWave::value(double t) const {
+  if (t < delay_) return v1_;
+  const double tau = std::fmod(t - delay_, period_);
+  if (tau < rise_) {
+    if (rise_ == 0.0) return v2_;
+    return v1_ + (v2_ - v1_) * tau / rise_;
+  }
+  if (tau < rise_ + width_) return v2_;
+  if (tau < rise_ + width_ + fall_) {
+    if (fall_ == 0.0) return v1_;
+    return v2_ + (v1_ - v2_) * (tau - rise_ - width_) / fall_;
+  }
+  return v1_;
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) throw std::invalid_argument("PwlWave: >= 2 points");
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].first <= points_[i - 1].first)
+      throw std::invalid_argument("PwlWave: times must be increasing");
+}
+
+double PwlWave::value(double t) const {
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double v, const std::pair<double, double>& p) { return v < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double f = (t - lo.first) / (hi.first - lo.first);
+  return lo.second + f * (hi.second - lo.second);
+}
+
+std::unique_ptr<Waveform> TwoPhaseClock::phase1() const {
+  // Rise just after t = 0, high for period/2 - non_overlap - edges.
+  const double width = period / 2.0 - non_overlap - 2.0 * edge;
+  return std::make_unique<PulseWave>(low_level, high_level, non_overlap, edge,
+                                     edge, std::max(width, 0.0), period);
+}
+
+std::unique_ptr<Waveform> TwoPhaseClock::phase2() const {
+  const double width = period / 2.0 - non_overlap - 2.0 * edge;
+  return std::make_unique<PulseWave>(low_level, high_level,
+                                     period / 2.0 + non_overlap, edge, edge,
+                                     std::max(width, 0.0), period);
+}
+
+}  // namespace si::spice

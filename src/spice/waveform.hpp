@@ -1,0 +1,82 @@
+// Time-domain stimulus waveforms for independent sources and switch
+// controls: DC, sine, pulse trains (clock phases), and piecewise-linear.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace si::spice {
+
+/// A scalar function of time used to drive sources and switches.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  /// Value at time t (seconds).
+  virtual double value(double t) const = 0;
+  /// Value used during DC operating-point analysis (usually value(0)).
+  virtual double dc_value() const { return value(0.0); }
+};
+
+/// Constant value.
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double level) : level_(level) {}
+  double value(double) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// offset + amplitude * sin(2 pi f (t - delay) + phase), 0 before delay.
+class SineWave final : public Waveform {
+ public:
+  SineWave(double offset, double amplitude, double freq_hz, double delay = 0.0,
+           double phase_rad = 0.0);
+  double value(double t) const override;
+  double dc_value() const override { return offset_; }
+
+ private:
+  double offset_, amplitude_, freq_, delay_, phase_;
+};
+
+/// SPICE-style periodic pulse: v1 -> v2 with linear edges.
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double v1, double v2, double delay, double rise, double fall,
+            double width, double period);
+  double value(double t) const override;
+  double dc_value() const override { return v1_; }
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Piecewise-linear waveform through (t, v) points; clamps outside range.
+class PwlWave final : public Waveform {
+ public:
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t) const override;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Two-phase non-overlapping clock generator.  Phase 1 is high during the
+/// first part of each period, phase 2 during the second, separated by a
+/// non-overlap gap — the standard SI sampling clock.
+struct TwoPhaseClock {
+  double period;        ///< full clock period [s]
+  double high_level;    ///< logic-high voltage
+  double low_level;     ///< logic-low voltage
+  double edge;          ///< rise/fall time [s]
+  double non_overlap;   ///< gap between phases [s]
+
+  /// Builds the phase-1 (sampling) waveform.
+  std::unique_ptr<Waveform> phase1() const;
+  /// Builds the phase-2 (hold/output) waveform.
+  std::unique_ptr<Waveform> phase2() const;
+};
+
+}  // namespace si::spice

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/measure.hpp"
+#include "analysis/plot.hpp"
+#include "analysis/table.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using si::analysis::amplitude_sweep;
+using si::analysis::level_grid;
+using si::analysis::run_tone_test;
+using si::analysis::StreamProcessor;
+using si::analysis::Table;
+using si::analysis::ToneTestConfig;
+
+TEST(Measure, IdentityDutRecoversStimulus) {
+  ToneTestConfig cfg;
+  cfg.fft_points = 1 << 12;
+  cfg.clock_hz = 1e6;
+  cfg.tone_hz = 10e3;
+  cfg.band_hz = 0.5e6;
+  cfg.settle_samples = 64;
+  const auto r = run_tone_test([](const std::vector<double>& x) { return x; },
+                               1.0, cfg);
+  EXPECT_NEAR(r.metrics.fundamental_hz, cfg.coherent_tone_hz(),
+              r.spectrum.bin_width());
+  EXPECT_NEAR(r.metrics.signal_power, 0.5, 1e-3);
+  EXPECT_GT(r.metrics.snr_db, 100.0);  // numerically clean sine
+}
+
+TEST(Measure, KnownNoiseFloorMeasured) {
+  ToneTestConfig cfg;
+  cfg.fft_points = 1 << 13;
+  cfg.clock_hz = 1e6;
+  cfg.tone_hz = 10e3;
+  cfg.band_hz = 0.5e6;
+  cfg.settle_samples = 0;
+  const double sigma = 1e-3;
+  auto dut = [sigma](const std::vector<double>& x) {
+    auto y = x;
+    const auto n = si::dsp::white_noise(y.size(), sigma, 9);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += n[i];
+    return y;
+  };
+  const auto r = run_tone_test(dut, 1.0, cfg);
+  const double expected = 10.0 * std::log10(0.5 / (sigma * sigma));
+  EXPECT_NEAR(r.metrics.snr_db, expected, 1.5);
+}
+
+TEST(Measure, DutChangingLengthThrows) {
+  ToneTestConfig cfg;
+  cfg.fft_points = 1 << 10;
+  cfg.settle_samples = 0;
+  auto bad = [](const std::vector<double>& x) {
+    return std::vector<double>(x.begin(), x.begin() + 5);
+  };
+  EXPECT_THROW(run_tone_test(bad, 1.0, cfg), std::runtime_error);
+}
+
+TEST(Measure, NonPowerOfTwoThrows) {
+  ToneTestConfig cfg;
+  cfg.fft_points = 1000;
+  EXPECT_THROW(
+      run_tone_test([](const std::vector<double>& x) { return x; }, 1.0, cfg),
+      std::invalid_argument);
+}
+
+TEST(Measure, SweepRecoversAnalyticDynamicRange) {
+  // DUT: unity passthrough with fixed additive noise sigma.  SNDR in a
+  // full band = level - noise floor; DR = 20log10(FS/sigma) - 3 dB...
+  // verify against the closed form.
+  ToneTestConfig cfg;
+  cfg.fft_points = 1 << 12;
+  cfg.clock_hz = 1e6;
+  cfg.tone_hz = 10e3;
+  cfg.band_hz = 0.5e6;
+  cfg.settle_samples = 0;
+  const double sigma = 1e-3;
+  std::uint64_t seed = 1;
+  auto make = [&](double) -> StreamProcessor {
+    const std::uint64_t s = seed++;
+    return [s, sigma](const std::vector<double>& x) {
+      auto y = x;
+      const auto n = si::dsp::white_noise(y.size(), sigma, s);
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] += n[i];
+      return y;
+    };
+  };
+  const auto levels = level_grid(-80.0, 0.0, 5.0);
+  const auto sweep = amplitude_sweep(make, levels, 1.0, cfg);
+  const double expected_dr =
+      10.0 * std::log10(0.5 / (sigma * sigma));
+  EXPECT_NEAR(sweep.dynamic_range_db, expected_dr, 2.0);
+  EXPECT_NEAR(sweep.peak_sndr_db, expected_dr, 2.0);
+  EXPECT_EQ(sweep.points.size(), levels.size());
+}
+
+TEST(Measure, LevelGrid) {
+  const auto g = level_grid(-10.0, 0.0, 5.0);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0], -10.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+  EXPECT_THROW(level_grid(0.0, -10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(level_grid(0.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(TableFmt, FixedWidthRendering) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableFmt, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TableFmt, NumberFormatting) {
+  EXPECT_EQ(si::analysis::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(si::analysis::fmt_eng(6e-6, "A", 2), "6.00 uA");
+  EXPECT_EQ(si::analysis::fmt_eng(33e-9, "A", 0), "33 nA");
+  EXPECT_EQ(si::analysis::fmt_eng(3.3, "V", 1), "3.3 V");
+  EXPECT_EQ(si::analysis::fmt_eng(2.45e6, "Hz", 2), "2.45 MHz");
+  EXPECT_EQ(si::analysis::fmt_eng(0.0, "W", 1), "0.0 W");
+}
+
+
+TEST(TableFmt, CsvExport) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1.5"});
+  t.add_row({"with,comma", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1.5\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+
+TEST(Plot, AsciiChartRendersAndScales) {
+  std::vector<double> x, y;
+  for (int k = 0; k <= 50; ++k) {
+    x.push_back(k);
+    y.push_back(std::sin(0.2 * k));
+  }
+  std::ostringstream os;
+  si::analysis::AsciiChartOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  opt.x_label = "n";
+  opt.y_label = "amp";
+  si::analysis::ascii_chart(os, x, y, opt);
+  const std::string s = os.str();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("amp"), std::string::npos);
+  // 10 data rows plus axis rows.
+  EXPECT_GE(std::count(s.begin(), s.end(), '\n'), 12);
+  EXPECT_THROW(si::analysis::ascii_chart(os, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Plot, AsciiSpectrumShowsTone) {
+  const std::size_t n = 1 << 12;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(50e3, fs, n);
+  const auto x = si::dsp::sine(n, 1.0, f, fs);
+  const auto spec = si::dsp::compute_power_spectrum(x, fs);
+  std::ostringstream os;
+  si::analysis::ascii_spectrum(os, spec, 0.5, 1e3, fs / 2.0);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+  EXPECT_THROW(si::analysis::ascii_spectrum(os, spec, 0.5, 0.0, 1e3),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/blocks.hpp"
+
+namespace {
+
+using si::cells::AccumulatorConfig;
+using si::cells::Diff;
+using si::cells::MemoryCellParams;
+using si::cells::ScalingMirror;
+using si::cells::SiAccumulatorStage;
+
+AccumulatorConfig ideal_config() {
+  AccumulatorConfig c;
+  c.cell = MemoryCellParams::ideal();
+  c.cell_mismatch_sigma = 0.0;
+  c.use_cmff = false;
+  return c;
+}
+
+TEST(ScalingMirror, ExactGainWithoutMismatch) {
+  ScalingMirror m(0.5, 0.0, 1);
+  EXPECT_DOUBLE_EQ(m.nominal_gain(), 0.5);
+  EXPECT_DOUBLE_EQ(m.realized_gain(), 0.5);
+  const Diff out = m.apply(Diff::from_dm_cm(4e-6, 2e-6));
+  EXPECT_DOUBLE_EQ(out.dm(), 2e-6);
+  EXPECT_DOUBLE_EQ(out.cm(), 1e-6);
+}
+
+TEST(ScalingMirror, MismatchIsDeterministicAndBounded) {
+  ScalingMirror a(1.0, 1e-3, 5);
+  ScalingMirror b(1.0, 1e-3, 5);
+  EXPECT_DOUBLE_EQ(a.realized_gain(), b.realized_gain());
+  EXPECT_NEAR(a.realized_gain(), 1.0, 1e-2);
+  EXPECT_NE(a.realized_gain(), 1.0);
+}
+
+TEST(Accumulator, IntegratorAccumulates) {
+  SiAccumulatorStage stage(ideal_config(), +1.0);
+  // w[n+1] = w[n] + u[n]: feed constant 1 uA.
+  for (int n = 1; n <= 5; ++n) {
+    stage.step(Diff::from_dm_cm(1e-6, 0.0));
+    EXPECT_NEAR(stage.output().dm(), n * 1e-6, 1e-17);
+  }
+}
+
+TEST(Accumulator, IntegratorIsDelaying) {
+  SiAccumulatorStage stage(ideal_config(), +1.0);
+  // Before any step the output is zero; an impulse appears next cycle.
+  EXPECT_DOUBLE_EQ(stage.output().dm(), 0.0);
+  stage.step(Diff::from_dm_cm(3e-6, 0.0));
+  EXPECT_NEAR(stage.output().dm(), 3e-6, 1e-18);
+  stage.step(Diff{});
+  EXPECT_NEAR(stage.output().dm(), 3e-6, 1e-18);  // holds (pole at z=1)
+}
+
+TEST(Accumulator, ChopperStageAlternatesSign) {
+  SiAccumulatorStage stage(ideal_config(), -1.0);
+  // w[n+1] = -(w[n] + u[n]); impulse 1 -> -1, +1, -1, ...
+  stage.step(Diff::from_dm_cm(1e-6, 0.0));
+  EXPECT_NEAR(stage.output().dm(), -1e-6, 1e-18);
+  stage.step(Diff{});
+  EXPECT_NEAR(stage.output().dm(), 1e-6, 1e-18);
+  stage.step(Diff{});
+  EXPECT_NEAR(stage.output().dm(), -1e-6, 1e-18);
+}
+
+TEST(Accumulator, ChopperStageIntegratesAlternatingInput) {
+  // At fs/2 the chopped stage behaves as the integrator does at DC:
+  // feed (-1)^n and watch the magnitude grow linearly.
+  SiAccumulatorStage stage(ideal_config(), -1.0);
+  double sign = 1.0;
+  for (int n = 1; n <= 6; ++n) {
+    stage.step(Diff::from_dm_cm(sign * 1e-6, 0.0));
+    sign = -sign;
+    EXPECT_NEAR(std::abs(stage.output().dm()), n * 1e-6, 1e-17);
+  }
+}
+
+TEST(Accumulator, TransmissionErrorMakesLossyIntegrator) {
+  AccumulatorConfig c = ideal_config();
+  c.cell.base_transmission_error = 1e-2;
+  c.cell.gga_gain = 1.0;
+  SiAccumulatorStage stage(c, +1.0);
+  // The loop applies (1-eps)^2 per cycle: a leaky pole.
+  stage.step(Diff::from_dm_cm(1e-6, 0.0));
+  const double w1 = stage.output().dm();
+  stage.step(Diff{});
+  const double w2 = stage.output().dm();
+  EXPECT_LT(w2, w1);
+  EXPECT_NEAR(w2 / w1, (1.0 - 1e-2) * (1.0 - 1e-2), 1e-6);
+}
+
+TEST(Accumulator, CmffInsideLoopRemovesCommonMode) {
+  AccumulatorConfig c = ideal_config();
+  c.use_cmff = true;
+  c.cmff.mirror_mismatch_sigma = 0.0;
+  SiAccumulatorStage stage(c, +1.0);
+  for (int n = 0; n < 10; ++n) stage.step(Diff::from_dm_cm(0.0, 1e-6));
+  EXPECT_NEAR(stage.output().cm(), 0.0, 1e-15);
+  EXPECT_NEAR(stage.output().dm(), 0.0, 1e-15);
+}
+
+TEST(Accumulator, ResetClearsState) {
+  SiAccumulatorStage stage(ideal_config(), +1.0);
+  stage.step(Diff::from_dm_cm(2e-6, 0.0));
+  stage.reset();
+  EXPECT_DOUBLE_EQ(stage.output().dm(), 0.0);
+  stage.step(Diff{});
+  EXPECT_DOUBLE_EQ(stage.output().dm(), 0.0);
+}
+
+TEST(Accumulator, RejectsBadSign) {
+  EXPECT_THROW(SiAccumulatorStage(ideal_config(), 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace

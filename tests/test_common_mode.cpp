@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/common_mode.hpp"
+
+namespace {
+
+using si::cells::Cmfb;
+using si::cells::CmfbParams;
+using si::cells::Cmff;
+using si::cells::CmffParams;
+using si::cells::Diff;
+
+TEST(Cmff, PerfectMirrorsCancelCommonModeExactly) {
+  CmffParams p;
+  p.mirror_mismatch_sigma = 0.0;
+  Cmff ff(p, 1);
+  const Diff out = ff.process(Diff::from_dm_cm(4e-6, 3e-6));
+  EXPECT_NEAR(out.cm(), 0.0, 1e-18);
+  EXPECT_NEAR(out.dm(), 4e-6, 1e-18);
+  EXPECT_NEAR(ff.residual_cm_gain(), 0.0, 1e-15);
+}
+
+TEST(Cmff, SystematicExtractionErrorLeavesResidual) {
+  CmffParams p;
+  p.mirror_mismatch_sigma = 0.0;
+  p.extraction_gain_error = 0.02;
+  Cmff ff(p, 1);
+  const Diff out = ff.process(Diff::from_dm_cm(0.0, 5e-6));
+  EXPECT_NEAR(out.cm(), -0.02 * 5e-6, 1e-12);
+  EXPECT_NEAR(ff.residual_cm_gain(), -0.02, 1e-12);
+}
+
+TEST(Cmff, MismatchCausesCmToDmConversion) {
+  CmffParams p;
+  p.mirror_mismatch_sigma = 5e-3;
+  Cmff ff(p, 7);
+  const Diff out = ff.process(Diff::from_dm_cm(0.0, 10e-6));
+  // Some small but nonzero DM appears, matching the reported gain.
+  EXPECT_NE(out.dm(), 0.0);
+  EXPECT_NEAR(out.dm(), ff.cm_to_dm_gain() * 10e-6, 1e-12);
+  EXPECT_LT(std::abs(out.dm()), 0.05 * 10e-6);
+}
+
+TEST(Cmff, IsInstantaneousAndStateless) {
+  Cmff ff(CmffParams{}, 3);
+  const Diff in = Diff::from_dm_cm(1e-6, 2e-6);
+  const Diff first = ff.process(in);
+  for (int i = 0; i < 10; ++i) {
+    const Diff again = ff.process(in);
+    EXPECT_DOUBLE_EQ(again.p, first.p);
+    EXPECT_DOUBLE_EQ(again.m, first.m);
+  }
+}
+
+TEST(Cmfb, ConvergesGeometrically) {
+  CmfbParams p;
+  p.loop_gain = 0.5;
+  Cmfb fb(p);
+  const Diff in = Diff::from_dm_cm(0.0, 1e-6);
+  double prev = 1e-6;
+  for (int i = 0; i < 10; ++i) {
+    const double r = std::abs(fb.process(in).cm());
+    EXPECT_LE(r, prev * (1.0 + 1e-12));
+    prev = r;
+  }
+  EXPECT_LT(prev, 1e-8);  // converged well below the input CM
+}
+
+TEST(Cmfb, SlowerWithSmallerLoopGain) {
+  CmfbParams fast_p, slow_p;
+  fast_p.loop_gain = 0.5;
+  slow_p.loop_gain = 0.1;
+  Cmfb fast(fast_p), slow(slow_p);
+  const Diff in = Diff::from_dm_cm(0.0, 1e-6);
+  double r_fast = 0, r_slow = 0;
+  for (int i = 0; i < 6; ++i) {
+    r_fast = std::abs(fast.process(in).cm());
+    r_slow = std::abs(slow.process(in).cm());
+  }
+  EXPECT_LT(r_fast, r_slow);
+}
+
+TEST(Cmfb, SenseSaturatesOutsideRange) {
+  CmfbParams p;
+  p.loop_gain = 1.0;
+  p.sense_range = 1e-6;
+  Cmfb fb(p);
+  // A huge CM step: the first correction is limited by the tanh range.
+  fb.process(Diff::from_dm_cm(0.0, 100e-6));
+  EXPECT_LE(fb.correction(), 1.001e-6);
+}
+
+TEST(Cmfb, DifferentialSignalLeaksIntoCorrection) {
+  CmfbParams p;
+  p.dm_leakage = 0.1;
+  Cmfb fb(p);
+  // Pure DM input, zero CM: the correction must stay zero if the loop
+  // were linear; the leakage term makes it move.
+  fb.process(Diff::from_dm_cm(8e-6, 0.0));
+  EXPECT_GT(std::abs(fb.correction()), 0.0);
+  fb.reset();
+  EXPECT_DOUBLE_EQ(fb.correction(), 0.0);
+}
+
+TEST(Cmfb, PreservesDifferentialSignal) {
+  Cmfb fb(CmfbParams{});
+  const Diff out = fb.process(Diff::from_dm_cm(5e-6, 2e-6));
+  EXPECT_DOUBLE_EQ(out.dm(), 5e-6);
+}
+
+}  // namespace

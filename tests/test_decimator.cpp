@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsm/adc.hpp"
+#include "dsm/decimator.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using si::dsm::DecimatorChain;
+using si::dsm::DecimatorChainConfig;
+using si::dsm::SiAdc;
+using si::dsm::SiAdcConfig;
+
+TEST(Decimator, RegisterBitsFormula) {
+  DecimatorChainConfig c;
+  c.cic_order = 3;
+  c.cic_decimation = 32;
+  EXPECT_EQ(c.cic_register_bits(), 16);  // 1 + 3*log2(32)
+  c.cic_decimation = 128;
+  EXPECT_EQ(c.cic_register_bits(), 22);
+  EXPECT_EQ(c.total_decimation(), 128u * 4u);
+}
+
+TEST(Decimator, DcBitStreamGivesDcPcm) {
+  DecimatorChainConfig c;
+  DecimatorChain d(c);
+  // A 3/4-density bitstream carries DC = 0.5.
+  std::vector<double> bits;
+  for (int k = 0; k < 4096; ++k)
+    bits.push_back((k % 4 == 0) ? -1.0 : 1.0);
+  const auto pcm = d.process(bits);
+  ASSERT_GT(pcm.size(), 10u);
+  // Average the settled middle (the FIR edges see zero padding).
+  double mean = 0.0;
+  const std::size_t lo = pcm.size() / 3, hi = 2 * pcm.size() / 3;
+  for (std::size_t k = lo; k < hi; ++k) mean += pcm[k];
+  mean /= static_cast<double>(hi - lo);
+  EXPECT_NEAR(mean, 0.5, 1e-3);
+}
+
+TEST(Decimator, FixedPointMatchesFloatWithinQuantization) {
+  DecimatorChainConfig cf;
+  DecimatorChainConfig cx = cf;
+  cx.fixed_point = true;
+  cx.cic_output_bits = 16;
+  cx.fir_coeff_bits = 16;
+  cx.fir_data_bits = 16;
+  DecimatorChain df(cf), dx(cx);
+  // Random bit stream.
+  si::dsp::Xoshiro256 rng(3);
+  std::vector<double> bits(1 << 14);
+  for (auto& b : bits) b = rng.uniform() < 0.6 ? 1.0 : -1.0;
+  const auto yf = df.process(bits);
+  const auto yx = dx.process(bits);
+  ASSERT_EQ(yf.size(), yx.size());
+  for (std::size_t k = 20; k < yf.size(); ++k)
+    EXPECT_NEAR(yx[k], yf[k], 2e-3) << "k=" << k;  // ~16-bit grid + trunc
+}
+
+TEST(Decimator, CoarseWordlengthDegradesAccuracy) {
+  DecimatorChainConfig fine;
+  fine.fixed_point = true;
+  fine.cic_output_bits = 16;
+  fine.fir_data_bits = 16;
+  DecimatorChainConfig coarse = fine;
+  coarse.cic_output_bits = 6;
+  coarse.fir_data_bits = 6;
+  DecimatorChain df(fine), dc(coarse);
+  si::dsp::Xoshiro256 rng(9);
+  std::vector<double> bits(1 << 13);
+  for (auto& b : bits) b = rng.uniform() < 0.7 ? 1.0 : -1.0;
+  DecimatorChainConfig ref_cfg;
+  DecimatorChain ref(ref_cfg);
+  const auto yr = ref.process(bits);
+  const auto yf = df.process(bits);
+  const auto yc = dc.process(bits);
+  double ef = 0.0, ec = 0.0;
+  for (std::size_t k = 20; k < yr.size(); ++k) {
+    ef += (yf[k] - yr[k]) * (yf[k] - yr[k]);
+    ec += (yc[k] - yr[k]) * (yc[k] - yr[k]);
+  }
+  EXPECT_GT(ec, 10.0 * ef);
+}
+
+TEST(Decimator, RejectsOverflowingConfig) {
+  DecimatorChainConfig c;
+  c.fixed_point = true;
+  c.cic_order = 8;
+  c.cic_decimation = 1 << 9;  // 1 + 72 bits of growth: too wide
+  EXPECT_THROW(DecimatorChain{c}, std::invalid_argument);
+}
+
+TEST(Decimator, ResetClearsState) {
+  DecimatorChainConfig c;
+  c.fixed_point = true;
+  DecimatorChain d(c);
+  std::vector<double> ones(512, 1.0);
+  (void)d.process(ones);
+  d.reset();
+  const auto y = d.process(std::vector<double>(512, -1.0));
+  // After reset the chain must not remember the previous +1 block: the
+  // steady output heads to -1.
+  EXPECT_LT(y.back(), -0.9);
+}
+
+TEST(SiAdcTop, DcTransfer) {
+  SiAdcConfig cfg;
+  SiAdc adc(cfg);
+  const std::vector<double> x(1 << 14, 2e-6);  // DC input, 1/3 FS
+  const auto pcm = adc.convert(x);
+  ASSERT_GT(pcm.size(), 20u);
+  // Average the settled tail.
+  double mean = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = pcm.size() / 2; k < pcm.size(); ++k) {
+    mean += pcm[k];
+    ++count;
+  }
+  mean /= static_cast<double>(count);
+  EXPECT_NEAR(mean, 2e-6, 0.1e-6);
+}
+
+TEST(SiAdcTop, SineConversionSnr) {
+  SiAdcConfig cfg;
+  SiAdc adc(cfg);
+  const std::size_t n = 1 << 17;
+  const double f = si::dsp::coherent_frequency(1e3, cfg.clock_hz, n);
+  const auto x = si::dsp::sine(n, 3e-6, f, cfg.clock_hz);
+  auto pcm = adc.convert(x);
+  // Window the settled tail into a power-of-two record.
+  const std::size_t keep = si::dsp::next_power_of_two(pcm.size()) / 2;
+  pcm.erase(pcm.begin(),
+            pcm.begin() + static_cast<std::ptrdiff_t>(pcm.size() - keep));
+  const auto s = si::dsp::compute_power_spectrum(pcm, adc.output_rate());
+  si::dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f;
+  const auto m = si::dsp::measure_tone(s, opt);
+  EXPECT_GT(m.sndr_db, 45.0);  // near the in-band SNDR of the modulator
+}
+
+TEST(SiAdcTop, ExpectedDrBitsSensible) {
+  SiAdcConfig cfg;
+  SiAdc adc(cfg);
+  const double bits = adc.expected_dr_bits();
+  EXPECT_GT(bits, 8.0);
+  EXPECT_LT(bits, 16.0);
+  EXPECT_NEAR(adc.output_rate(), 2.45e6 / 128.0, 1.0);
+}
+
+}  // namespace

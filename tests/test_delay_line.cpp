@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "si/delay_line.hpp"
+
+namespace {
+
+using si::cells::CommonModeControl;
+using si::cells::DelayLine;
+using si::cells::DelayLineConfig;
+using si::cells::Diff;
+using si::cells::MemoryCellParams;
+
+DelayLineConfig ideal_config(int delays) {
+  DelayLineConfig c;
+  c.cell = MemoryCellParams::ideal();
+  c.delays = delays;
+  c.mismatch_sigma = 0.0;
+  c.cmff.mirror_mismatch_sigma = 0.0;
+  return c;
+}
+
+TEST(DelayLine, IdealLineIsPureDelay) {
+  DelayLine line(ideal_config(1));
+  std::vector<double> in{1e-6, 2e-6, -3e-6, 4e-6, 0.0, 0.0};
+  const auto out = line.run_dm(in);
+  // z^-1 with positive polarity (two inverting cells).
+  for (std::size_t k = 1; k < in.size(); ++k)
+    EXPECT_NEAR(out[k], in[k - 1], 1e-18) << "k=" << k;
+}
+
+TEST(DelayLine, MultiDelayLine) {
+  const int n_delay = 3;
+  DelayLine line(ideal_config(n_delay));
+  std::vector<double> in(16, 0.0);
+  in[0] = 5e-6;
+  const auto out = line.run_dm(in);
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    if (k == static_cast<std::size_t>(n_delay))
+      EXPECT_NEAR(out[k], 5e-6, 1e-18);
+    else
+      EXPECT_NEAR(out[k], 0.0, 1e-18);
+  }
+}
+
+TEST(DelayLine, RejectsZeroDelays) {
+  DelayLineConfig c = ideal_config(0);
+  EXPECT_THROW(DelayLine{c}, std::invalid_argument);
+}
+
+TEST(DelayLine, CmffRemovesInputCommonMode) {
+  // A common-mode component rides on the differential input (e.g. from
+  // an unbalanced previous stage).  Without control it propagates to
+  // the output; with CMFF it is subtracted every stage.
+  DelayLineConfig c = ideal_config(2);
+  c.cm_control = CommonModeControl::kNone;
+  DelayLine plain(c);
+  DelayLineConfig cf = c;
+  cf.cm_control = CommonModeControl::kCmff;
+  DelayLine with_cmff(cf);
+  double cm_plain = 0.0, cm_ff = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    const Diff in = Diff::from_dm_cm(1e-6, 2e-6);
+    cm_plain = plain.process(in).cm();
+    cm_ff = with_cmff.process(in).cm();
+  }
+  EXPECT_NEAR(std::abs(cm_plain), 2e-6, 1e-8);  // CM passes through
+  EXPECT_LT(std::abs(cm_ff), 1e-9);             // CMFF cancels it
+  // The differential signal is untouched in both cases.
+  EXPECT_NEAR(plain.process(Diff::from_dm_cm(1e-6, 2e-6)).dm(), 1e-6, 1e-12);
+}
+
+TEST(DelayLine, CmfbAlsoControlsCommonMode) {
+  DelayLineConfig c = ideal_config(2);
+  c.cm_control = CommonModeControl::kCmfb;
+  DelayLine line(c);
+  double cm = 0.0;
+  for (int k = 0; k < 100; ++k)
+    cm = line.process(Diff::from_dm_cm(0.0, 2e-6)).cm();
+  // The feedback loop drives the propagated CM well below the input.
+  EXPECT_LT(std::abs(cm), 1e-7);
+}
+
+TEST(DelayLine, ResetClearsState) {
+  DelayLine line(ideal_config(1));
+  line.process(Diff::from_dm_cm(9e-6, 0.0));
+  line.reset();
+  EXPECT_NEAR(line.process(Diff::from_dm_cm(0.0, 0.0)).dm(), 0.0, 1e-18);
+}
+
+TEST(DelayLine, PaperCellMeetsTable1Numbers) {
+  // Integration test against the calibrated Table 1 targets.
+  si::analysis::ToneTestConfig cfg;
+  cfg.clock_hz = 5e6;
+  cfg.tone_hz = 5e3;
+  cfg.band_hz = 2.5e6;
+  cfg.fft_points = 1 << 15;
+  DelayLineConfig dl;
+  auto dut = [&](const std::vector<double>& x) {
+    DelayLine line(dl);
+    return line.run_dm(x);
+  };
+  const auto r8 = si::analysis::run_tone_test(dut, 8e-6, cfg);
+  EXPECT_LT(r8.metrics.thd_db, -47.0);   // paper: < -50 dB
+  EXPECT_GT(r8.metrics.thd_db, -60.0);   // but close to the limit
+  const auto r16 = si::analysis::run_tone_test(dut, 16e-6, cfg);
+  EXPECT_NEAR(r16.metrics.snr_db, 50.0, 3.0);  // paper: ~50 dB
+  // THD degrades at larger input (GGA slewing).
+  EXPECT_GT(r16.metrics.thd_db, r8.metrics.thd_db + 5.0);
+}
+
+TEST(DelayLine, DeterministicAcrossRuns) {
+  DelayLineConfig c;  // full noise model
+  DelayLine a(c), b(c);
+  for (int k = 0; k < 100; ++k) {
+    const Diff in = Diff::from_dm_cm(1e-6 * std::sin(0.1 * k), 0.0);
+    const Diff oa = a.process(in);
+    const Diff ob = b.process(in);
+    EXPECT_DOUBLE_EQ(oa.p, ob.p);
+    EXPECT_DOUBLE_EQ(oa.m, ob.m);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "dsm/linear_model.hpp"
+#include "dsm/modulator.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using si::dsm::IdealSecondOrderModulator;
+using si::dsm::ScBaselineModulator;
+using si::dsm::SiModulatorConfig;
+using si::dsm::SiSigmaDeltaModulator;
+
+SiModulatorConfig ideal_config(bool chopper) {
+  SiModulatorConfig c;
+  c.cell = si::cells::MemoryCellParams::ideal();
+  c.coeff_mismatch_sigma = 0.0;
+  c.dac_mismatch_sigma = 0.0;
+  c.cell_mismatch_sigma = 0.0;
+  c.cmff.mirror_mismatch_sigma = 0.0;
+  c.input_ci_a3 = 0.0;
+  c.chopper = chopper;
+  return c;
+}
+
+/// In-band SNDR of a modulator stream at OSR 128.
+double sndr_of(std::vector<double> bits, double f_tone) {
+  for (auto& v : bits) v *= 6e-6;
+  const auto s = si::dsp::compute_power_spectrum(bits, 2.45e6);
+  si::dsp::ToneMeasurementOptions opt;
+  opt.fundamental_hz = f_tone;
+  opt.band_hi_hz = 2.45e6 / 256.0;
+  return si::dsp::measure_tone(s, opt).sndr_db;
+}
+
+TEST(IdealModulator, DcInputGivesMatchingBitDensity) {
+  IdealSecondOrderModulator m(0.5, 0.5, 0.25, 0.25, 1.0);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int k = 0; k < n; ++k) sum += m.step(0.25);
+  // Mean of +-1 bits tracks the input (DAC reference 1.0).
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(IdealModulator, ZeroInputBalancedBits) {
+  IdealSecondOrderModulator m(0.5, 0.5, 0.25, 0.25, 1.0);
+  double sum = 0.0;
+  for (int k = 0; k < 20000; ++k) sum += m.step(0.0);
+  EXPECT_NEAR(sum / 20000.0, 0.0, 0.01);
+}
+
+TEST(IdealModulator, StatesBoundedForInBandInput) {
+  IdealSecondOrderModulator m(0.5, 0.5, 0.25, 0.25, 1.0);
+  const auto x = si::dsp::sine(1 << 14, 0.5, 1e-3, 1.0);
+  double peak1 = 0, peak2 = 0;
+  for (double v : x) {
+    m.step(v);
+    peak1 = std::max(peak1, std::abs(m.state1()));
+    peak2 = std::max(peak2, std::abs(m.state2()));
+  }
+  EXPECT_LT(peak1, 3.0);
+  EXPECT_LT(peak2, 3.0);
+}
+
+TEST(IdealModulator, NoiseShapingSlopeIsSecondOrder) {
+  // In-band quantization noise drops ~15 dB per OSR octave.
+  IdealSecondOrderModulator m(0.5, 0.5, 0.25, 0.25, 6e-6);
+  const std::size_t n = 1 << 16;
+  const double fclk = 2.45e6;
+  const double f = si::dsp::coherent_frequency(1e3, fclk, n);
+  const auto x = si::dsp::sine(n, 3e-6, f, fclk);
+  auto bits = m.run(x);
+  for (auto& v : bits) v *= 6e-6;
+  const auto s = si::dsp::compute_power_spectrum(bits, fclk);
+  si::dsp::ToneMeasurementOptions o64, o128;
+  o64.fundamental_hz = f;
+  o64.band_hi_hz = fclk / 128.0;
+  o128.fundamental_hz = f;
+  o128.band_hi_hz = fclk / 256.0;
+  const double snr_64 = si::dsp::measure_tone(s, o64).snr_db;
+  const double snr_128 = si::dsp::measure_tone(s, o128).snr_db;
+  EXPECT_NEAR(snr_128 - snr_64, 15.0, 4.0);
+}
+
+TEST(SiModulator, ChopperMatchesPlainUnderIdealCells) {
+  // Fig. 3(a) and (b) realize the same transfer: with ideal cells the
+  // in-band SNDR agrees closely at several levels.
+  const std::size_t n = 1 << 15;
+  const double fclk = 2.45e6;
+  const double f = si::dsp::coherent_frequency(2e3, fclk, n);
+  for (double amp : {0.3e-6, 3e-6}) {
+    const auto x = si::dsp::sine(n, amp, f, fclk);
+    SiSigmaDeltaModulator plain(ideal_config(false));
+    SiSigmaDeltaModulator chop(ideal_config(true));
+    const double s_plain = sndr_of(plain.run(x), f);
+    const double s_chop = sndr_of(chop.run(x), f);
+    EXPECT_NEAR(s_plain, s_chop, 2.5) << "amp=" << amp;
+  }
+}
+
+TEST(SiModulator, PreChopperTapHoldsSignalAtHalfRate) {
+  const std::size_t n = 1 << 15;
+  const double fclk = 2.45e6;
+  const double f = si::dsp::coherent_frequency(2e3, fclk, n);
+  const auto x = si::dsp::sine(n, 3e-6, f, fclk);
+  SiSigmaDeltaModulator m(ideal_config(true));
+  auto taps = m.run_with_taps(x);
+  const auto pre = si::dsp::compute_power_spectrum(taps.pre_chopper, fclk);
+  const auto post = si::dsp::compute_power_spectrum(taps.output, fclk);
+  const double half = fclk / 2.0;
+  // Tone power near fs/2 dominates pre-chopper; baseband dominates post.
+  EXPECT_GT(pre.raw_band_sum(half - 5e3, half),
+            10.0 * pre.raw_band_sum(500.0, 5e3));
+  EXPECT_GT(post.raw_band_sum(500.0, 5e3),
+            10.0 * post.raw_band_sum(half - 5e3, half));
+}
+
+TEST(SiModulator, OutputBitsAreBipolar) {
+  SiSigmaDeltaModulator m(SiModulatorConfig{});
+  const auto x = si::dsp::sine(1000, 3e-6, 2e-3, 1.0);
+  for (double v : x) {
+    const int y = m.step(v);
+    EXPECT_TRUE(y == 1 || y == -1);
+  }
+}
+
+TEST(SiModulator, DeterministicPerSeed) {
+  SiModulatorConfig cfg;
+  cfg.seed = 77;
+  SiSigmaDeltaModulator a(cfg), b(cfg);
+  const auto x = si::dsp::sine(500, 3e-6, 1e-3, 1.0);
+  EXPECT_EQ(a.run(x), b.run(x));
+}
+
+TEST(SiModulator, ResetRestoresInitialState) {
+  SiModulatorConfig cfg = ideal_config(false);
+  SiSigmaDeltaModulator m(cfg);
+  const auto x = si::dsp::sine(256, 3e-6, 1e-2, 1.0);
+  const auto first = m.run(x);
+  m.reset();
+  const auto second = m.run(x);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SiModulator, OverloadsNearFullScale) {
+  // SNDR collapses at 0 dBFS (paper Fig. 7's droop at the top).
+  const std::size_t n = 1 << 14;
+  const double fclk = 2.45e6;
+  const double f = si::dsp::coherent_frequency(2e3, fclk, n);
+  SiModulatorConfig cfg;
+  cfg.seed = 5;
+  SiSigmaDeltaModulator m6(cfg);
+  const double at_m6 =
+      sndr_of(m6.run(si::dsp::sine(n, 3e-6, f, fclk)), f);
+  SiSigmaDeltaModulator m0(cfg);
+  const double at_0 =
+      sndr_of(m0.run(si::dsp::sine(n, 6e-6, f, fclk)), f);
+  EXPECT_GT(at_m6, at_0 + 5.0);
+}
+
+TEST(SiModulator, InternalSwingsNearTwiceFullScale) {
+  SiSigmaDeltaModulator m(ideal_config(false));
+  const std::size_t n = 1 << 14;
+  const double f = si::dsp::coherent_frequency(2e3, 2.45e6, n);
+  m.run(si::dsp::sine(n, 5.5e-6, f, 2.45e6));
+  EXPECT_LT(m.peak_state1(), 3.0 * 6e-6);
+  EXPECT_LT(m.peak_state2(), 5.0 * 6e-6);
+  EXPECT_GT(m.peak_state1(), 6e-6);
+}
+
+TEST(ScBaseline, NoiseFloorScalesWithCap) {
+  ScBaselineModulator small(6e-6, 1e-12, 1.0, 1);
+  ScBaselineModulator big(6e-6, 16e-12, 1.0, 1);
+  EXPECT_NEAR(small.input_noise_rms() / big.input_noise_rms(), 4.0, 1e-9);
+}
+
+TEST(ScBaseline, BeatsSiNoiseFloor) {
+  // 2 pF SC sampling noise is far below the SI 33 nA floor.
+  ScBaselineModulator sc(6e-6, 2e-12, 1.0, 1);
+  EXPECT_LT(sc.input_noise_rms(), 5e-9);
+}
+
+
+TEST(FirstOrder, IdleTonesAndDither) {
+  // A small DC input on a noiseless first-order loop produces strong
+  // discrete idle tones; quantizer dither whitens them.  (The paper's
+  // chips get this dithering for free from the SI circuit noise.)
+  auto inband_peak_over_floor = [](double dither) {
+    si::dsm::SiModulatorConfig mc;
+    mc.cell = si::cells::MemoryCellParams::ideal();
+    mc.cell_mismatch_sigma = 0.0;
+    mc.coeff_mismatch_sigma = 0.0;
+    mc.dac_mismatch_sigma = 0.0;
+    mc.cmff.mirror_mismatch_sigma = 0.0;
+    mc.input_ci_a3 = 0.0;
+    mc.quantizer_dither_rms = dither;
+    si::dsm::FirstOrderSiModulator m(mc);
+    const std::size_t n = 1 << 15;
+    std::vector<double> x(n, 6e-6 / 64.0);  // small DC input
+    auto y = m.run(x);
+    for (auto& v : y) v *= 6e-6;
+    const auto s = si::dsp::compute_power_spectrum(y, 2.45e6);
+    // Peak bin vs median bin inside 1-30 kHz.
+    const std::size_t klo = s.bin_of(1e3), khi = s.bin_of(30e3);
+    std::vector<double> band(s.power.begin() + klo, s.power.begin() + khi);
+    std::vector<double> sorted = band;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double peak = sorted.back();
+    return 10.0 * std::log10(peak / (median + 1e-300));
+  };
+  const double tones = inband_peak_over_floor(0.0);
+  const double dithered = inband_peak_over_floor(0.5e-6);
+  EXPECT_GT(tones, 30.0);            // discrete tones tower over the floor
+  EXPECT_LT(dithered, tones - 10.0); // dither knocks them down
+}
+
+TEST(FirstOrder, TracksDcInput) {
+  si::dsm::SiModulatorConfig mc;
+  mc.cell = si::cells::MemoryCellParams::ideal();
+  mc.input_ci_a3 = 0.0;
+  si::dsm::FirstOrderSiModulator m(mc);
+  double acc = 0.0;
+  const int n = 30000;
+  for (int k = 0; k < n; ++k) acc += m.step(1.5e-6);
+  EXPECT_NEAR(acc / n * 6e-6, 1.5e-6, 0.1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/estimation.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/window.hpp"
+
+namespace {
+
+TEST(Goertzel, RecoversToneAmplitudeAndPhase) {
+  const std::size_t n = 4096;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(50e3, fs, n);
+  const auto x = si::dsp::sine(n, 0.7, f, fs);
+  const auto g = si::dsp::goertzel(x, f, fs);
+  EXPECT_NEAR(g.amplitude(n), 0.7, 1e-6);
+}
+
+TEST(Goertzel, MatchesZeroOffTone) {
+  const std::size_t n = 4096;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(50e3, fs, n);
+  const double f_other = si::dsp::coherent_frequency(150e3, fs, n);
+  const auto x = si::dsp::sine(n, 1.0, f, fs);
+  EXPECT_LT(si::dsp::goertzel(x, f_other, fs).amplitude(n), 1e-9);
+}
+
+TEST(Goertzel, SelectiveInMultitone) {
+  const std::size_t n = 8192;
+  const double fs = 1e6;
+  const double f1 = si::dsp::coherent_frequency(20e3, fs, n);
+  const double f2 = si::dsp::coherent_frequency(90e3, fs, n);
+  const auto x =
+      si::dsp::multitone(n, {{0.5, f1, 0.2}, {0.25, f2, 1.1}}, fs);
+  EXPECT_NEAR(si::dsp::goertzel(x, f1, fs).amplitude(n), 0.5, 1e-6);
+  EXPECT_NEAR(si::dsp::goertzel(x, f2, fs).amplitude(n), 0.25, 1e-6);
+}
+
+TEST(Goertzel, RejectsBadInput) {
+  EXPECT_THROW(si::dsp::goertzel({}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(si::dsp::goertzel({1.0}, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Welch, WhiteNoisePsdIsFlatAndCalibrated) {
+  const std::size_t n = 1 << 17;
+  const double fs = 1e6;
+  const double sigma = 0.2;
+  const auto x = si::dsp::white_noise(n, sigma, 21);
+  const auto psd = si::dsp::welch_psd(x, fs, 1024);
+  // Expected density: sigma^2 / (fs/2) one-sided.
+  const double expected = sigma * sigma / (fs / 2.0);
+  // Band-average over a few regions: flat within ~10%.
+  for (double f0 : {50e3, 200e3, 400e3}) {
+    const double p = psd.band_power(f0, f0 + 50e3) / 50e3;
+    EXPECT_NEAR(p, expected, 0.1 * expected) << "f0=" << f0;
+  }
+  // Total power integrates back to sigma^2.
+  EXPECT_NEAR(psd.band_power(0.0, fs / 2.0), sigma * sigma,
+              0.05 * sigma * sigma);
+}
+
+TEST(Welch, AveragingSmoothsTheEstimate) {
+  const double fs = 1.0;
+  const auto x = si::dsp::white_noise(1 << 16, 1.0, 5);
+  const auto one_seg = si::dsp::welch_psd(
+      std::vector<double>(x.begin(), x.begin() + 1024), fs, 1024);
+  const auto many = si::dsp::welch_psd(x, fs, 1024);
+  auto rel_spread = [](const si::dsp::WelchPsd& p) {
+    double m = 0.0, m2 = 0.0;
+    const std::size_t lo = 10, hi = p.psd.size() - 10;
+    for (std::size_t k = lo; k < hi; ++k) {
+      m += p.psd[k];
+      m2 += p.psd[k] * p.psd[k];
+    }
+    const double count = static_cast<double>(hi - lo);
+    m /= count;
+    return std::sqrt(m2 / count - m * m) / m;
+  };
+  EXPECT_LT(rel_spread(many), rel_spread(one_seg) / 3.0);
+}
+
+TEST(Welch, RejectsBadSegmentation) {
+  std::vector<double> x(100, 0.0);
+  EXPECT_THROW(si::dsp::welch_psd(x, 1.0, 1000), std::invalid_argument);
+  EXPECT_THROW(si::dsp::welch_psd(x, 1.0, 100), std::invalid_argument);
+}
+
+TEST(Kaiser, ShapeAndLimits) {
+  const auto w = si::dsp::make_kaiser(101, 9.0);
+  EXPECT_NEAR(w[50], 1.0, 1e-12);  // unity center
+  EXPECT_LT(w.front(), 0.01);      // strongly tapered edges
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+  // beta = 0 degenerates to rectangular.
+  const auto rect = si::dsp::make_kaiser(32, 0.0);
+  for (double v : rect) EXPECT_NEAR(v, 1.0, 1e-12);
+  EXPECT_THROW(si::dsp::make_kaiser(0, 1.0), std::invalid_argument);
+}
+
+TEST(Kaiser, BesselI0KnownValues) {
+  EXPECT_NEAR(si::dsp::bessel_i0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(si::dsp::bessel_i0(1.0), 1.2660658, 1e-6);
+  EXPECT_NEAR(si::dsp::bessel_i0(5.0), 27.239871, 1e-4);
+}
+
+TEST(Halfband, EveryOtherTapIsZero) {
+  const auto h = si::dsp::design_halfband_fir(31);
+  const std::size_t mid = h.size() / 2;
+  EXPECT_NEAR(h[mid], 0.5, 1e-3);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const auto k = static_cast<long long>(i) - static_cast<long long>(mid);
+    if (k != 0 && k % 2 == 0) {
+      EXPECT_DOUBLE_EQ(h[i], 0.0) << "tap " << i;
+    }
+  }
+  EXPECT_THROW(si::dsp::design_halfband_fir(32), std::invalid_argument);
+}
+
+TEST(Halfband, SymmetricResponseAroundQuarterRate) {
+  const auto h = si::dsp::design_halfband_fir(63);
+  EXPECT_NEAR(si::dsp::fir_magnitude(h, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(si::dsp::fir_magnitude(h, 0.25), 0.5, 1e-3);
+  // Halfband symmetry: H(f) + H(0.5 - f) = 1.
+  for (double f : {0.05, 0.1, 0.2}) {
+    EXPECT_NEAR(si::dsp::fir_magnitude(h, f) +
+                    si::dsp::fir_magnitude(h, 0.5 - f),
+                1.0, 5e-3)
+        << "f=" << f;
+  }
+}
+
+TEST(Halfband, DecimatorKeepsBasebandTone) {
+  const std::size_t n = 1 << 13;
+  const auto x = si::dsp::sine(n, 1.0, 0.05, 1.0);
+  const auto h = si::dsp::design_halfband_fir(63);
+  const auto y = si::dsp::halfband_decimate(x, h);
+  EXPECT_EQ(y.size(), n / 2);
+  std::vector<double> mid(y.begin() + 100, y.end() - 100);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+
+namespace {
+
+using si::dsp::cplx;
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(si::dsp::is_power_of_two(1));
+  EXPECT_TRUE(si::dsp::is_power_of_two(1024));
+  EXPECT_FALSE(si::dsp::is_power_of_two(0));
+  EXPECT_FALSE(si::dsp::is_power_of_two(96));
+  EXPECT_EQ(si::dsp::next_power_of_two(1000), 1024u);
+  EXPECT_EQ(si::dsp::next_power_of_two(1024), 1024u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> x(12);
+  EXPECT_THROW(si::dsp::fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlat) {
+  std::vector<cplx> x(8, cplx(0.0, 0.0));
+  x[0] = cplx(1.0, 0.0);
+  auto y = si::dsp::fft(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 256;
+  const int k0 = 17;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * std::numbers::pi * k0 * static_cast<double>(i) /
+                     static_cast<double>(n);
+    x[i] = cplx(std::cos(a), std::sin(a));
+  }
+  auto y = si::dsp::fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == static_cast<std::size_t>(k0)) {
+      EXPECT_NEAR(std::abs(y[k]), static_cast<double>(n), 1e-8);
+    } else {
+      EXPECT_LT(std::abs(y[k]), 1e-8);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  const std::size_t n = 128;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = cplx(std::sin(0.1 * static_cast<double>(i)),
+                std::cos(0.07 * static_cast<double>(i)));
+  auto y = si::dsp::ifft(si::dsp::fft(x));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(y[i] - x[i]), 1e-12);
+}
+
+TEST(Fft, ParsevalProperty) {
+  const std::size_t n = 512;
+  auto noise = si::dsp::white_noise(n, 1.0, 7);
+  std::vector<cplx> x(noise.begin(), noise.end());
+  auto y = si::dsp::fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (double v : noise) time_energy += v * v;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(Fft, RfftMatchesFullFft) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(0.3 * static_cast<double>(i)) +
+           0.5 * std::cos(0.9 * static_cast<double>(i));
+  auto half = si::dsp::rfft(x);
+  std::vector<cplx> xc(x.begin(), x.end());
+  auto full = si::dsp::fft(xc);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  for (std::size_t k = 0; k < half.size(); ++k)
+    EXPECT_LT(std::abs(half[k] - full[k]), 1e-12);
+}
+
+TEST(Fft, LinearityProperty) {
+  const std::size_t n = 64;
+  auto a = si::dsp::white_noise(n, 1.0, 1);
+  auto b = si::dsp::white_noise(n, 1.0, 2);
+  std::vector<cplx> xa(a.begin(), a.end()), xb(b.begin(), b.end()), xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = xa[i] + 2.0 * xb[i];
+  auto ya = si::dsp::fft(xa);
+  auto yb = si::dsp::fft(xb);
+  auto ys = si::dsp::fft(xs);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(ys[k] - (ya[k] + 2.0 * yb[k])), 1e-9);
+}
+
+}  // namespace

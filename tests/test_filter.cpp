@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/filter.hpp"
+#include "dsp/signal.hpp"
+
+namespace {
+
+TEST(Filter, LowpassDesignUnityDcGain) {
+  const auto h = si::dsp::design_lowpass_fir(101, 0.1);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(si::dsp::fir_magnitude(h, 0.0), 1.0, 1e-12);
+}
+
+TEST(Filter, LowpassPassesAndStops) {
+  const auto h = si::dsp::design_lowpass_fir(201, 0.1);
+  EXPECT_NEAR(si::dsp::fir_magnitude(h, 0.02), 1.0, 0.01);
+  EXPECT_LT(si::dsp::fir_magnitude(h, 0.2), 1e-3);
+  EXPECT_LT(si::dsp::fir_magnitude(h, 0.4), 1e-3);
+}
+
+TEST(Filter, DesignRejectsBadArgs) {
+  EXPECT_THROW(si::dsp::design_lowpass_fir(100, 0.1), std::invalid_argument);
+  EXPECT_THROW(si::dsp::design_lowpass_fir(101, 0.6), std::invalid_argument);
+  EXPECT_THROW(si::dsp::design_lowpass_fir(101, 0.0), std::invalid_argument);
+}
+
+TEST(Filter, FirFilterRemovesHighFrequencyTone) {
+  const std::size_t n = 4096;
+  const double fs = 1.0;
+  auto x = si::dsp::multitone(
+      n, {{1.0, 0.01, 0.0}, {1.0, 0.3, 0.0}}, fs);
+  const auto h = si::dsp::design_lowpass_fir(201, 0.05);
+  const auto y = si::dsp::fir_filter(h, x);
+  // Compare rms in the steady-state middle region.
+  std::vector<double> mid(y.begin() + 500, y.end() - 500);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Filter, DecimateKeepsLowBandSignal) {
+  const std::size_t n = 8192;
+  auto x = si::dsp::sine(n, 1.0, 0.01, 1.0);
+  const auto h = si::dsp::design_lowpass_fir(127, 0.1);
+  const auto y = si::dsp::decimate(x, 4, h);
+  EXPECT_EQ(y.size(), n / 4);
+  std::vector<double> mid(y.begin() + 100, y.end() - 100);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Filter, DecimateRejectsZeroFactor) {
+  std::vector<double> x(16, 0.0);
+  EXPECT_THROW(si::dsp::decimate(x, 0, {1.0}), std::invalid_argument);
+}
+
+TEST(Filter, CicUnityDcGain) {
+  si::dsp::CicDecimator cic(3, 8);
+  std::vector<double> x(800, 1.0);
+  const auto y = cic.process(x);
+  ASSERT_EQ(y.size(), 100u);
+  // After the filter fills, DC gain is exactly 1.
+  EXPECT_NEAR(y.back(), 1.0, 1e-12);
+}
+
+TEST(Filter, CicSuppressesNearFsOverM) {
+  // A tone near the first CIC null (fs / M) is strongly attenuated.
+  si::dsp::CicDecimator cic(3, 16);
+  const std::size_t n = 1 << 14;
+  auto x = si::dsp::sine(n, 1.0, 1.0 / 16.0, 1.0);
+  const auto y = cic.process(x);
+  std::vector<double> tail(y.begin() + 16, y.end());
+  EXPECT_LT(si::dsp::rms(tail), 1e-3);
+}
+
+TEST(Filter, CicResetClearsState) {
+  si::dsp::CicDecimator cic(2, 4);
+  (void)cic.process(si::dsp::white_noise(64, 1.0, 1));
+  cic.reset();
+  const auto y = cic.process(std::vector<double>(64, 0.0));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Filter, CicValidatesArgs) {
+  EXPECT_THROW(si::dsp::CicDecimator(0, 4), std::invalid_argument);
+  EXPECT_THROW(si::dsp::CicDecimator(2, 0), std::invalid_argument);
+  si::dsp::CicDecimator ok(4, 64);
+  EXPECT_EQ(ok.order(), 4);
+  EXPECT_EQ(ok.decimation(), 64u);
+  EXPECT_DOUBLE_EQ(ok.raw_gain(), std::pow(64.0, 4.0));
+}
+
+
+TEST(Resample, IdentityWhenRatioOne) {
+  const auto x = si::dsp::sine(256, 1.0, 0.01, 1.0);
+  const auto y = si::dsp::resample(x, {1, 1, 24});
+  EXPECT_EQ(y, x);
+}
+
+TEST(Resample, UpsampleByTwoPreservesTone) {
+  const std::size_t n = 4096;
+  const double f = 0.02;  // cycles per input sample
+  const auto x = si::dsp::sine(n, 1.0, f, 1.0);
+  const auto y = si::dsp::resample(x, {2, 1, 32});
+  EXPECT_EQ(y.size(), 2 * n);
+  // The tone now sits at f/2 of the output rate with the same amplitude.
+  std::vector<double> mid(y.begin() + 500, y.end() - 500);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Resample, DownsampleByThreePreservesBasebandTone) {
+  const std::size_t n = 1 << 13;
+  const auto x = si::dsp::sine(n, 1.0, 0.01, 1.0);
+  const auto y = si::dsp::resample(x, {1, 3, 32});
+  EXPECT_EQ(y.size(), n / 3);
+  std::vector<double> mid(y.begin() + 200, y.end() - 200);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Resample, RationalThreeHalves) {
+  const std::size_t n = 1 << 12;
+  const auto x = si::dsp::sine(n, 1.0, 0.01, 1.0);
+  const auto y = si::dsp::resample(x, {3, 2, 32});
+  EXPECT_EQ(y.size(), n * 3 / 2);
+  // Tone frequency in output samples: 0.01 * 2/3; sample the waveform
+  // peak amplitude from the middle.
+  std::vector<double> mid(y.begin() + 300, y.end() - 300);
+  EXPECT_NEAR(si::dsp::rms(mid), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Resample, DownsampleRejectsOutOfBandTone) {
+  // A tone above the output Nyquist must be filtered out, not aliased.
+  const std::size_t n = 1 << 13;
+  const auto x = si::dsp::sine(n, 1.0, 0.3, 1.0);  // 0.3 > 0.5/2
+  const auto y = si::dsp::resample(x, {1, 2, 48});
+  std::vector<double> mid(y.begin() + 300, y.end() - 300);
+  EXPECT_LT(si::dsp::rms(mid), 0.02);
+}
+
+TEST(Resample, RejectsZeroFactors) {
+  EXPECT_THROW(si::dsp::resample({1.0, 2.0}, {0, 1, 24}),
+               std::invalid_argument);
+  EXPECT_THROW(si::dsp::resample({1.0, 2.0}, {1, 0, 24}),
+               std::invalid_argument);
+}
+
+}  // namespace

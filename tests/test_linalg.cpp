@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using si::linalg::ComplexMatrix;
+using si::linalg::ComplexVector;
+using si::linalg::LuFactorization;
+using si::linalg::Matrix;
+using si::linalg::SingularMatrixError;
+using si::linalg::Vector;
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW(m.at(3, 0), std::out_of_range);
+}
+
+TEST(Matrix, ArithmeticAndShapeChecks) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b = Matrix::identity(2);
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  Matrix d = a * b;
+  EXPECT_DOUBLE_EQ(d(1, 0), 3.0);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(a += wrong, std::invalid_argument);
+  EXPECT_THROW(wrong * wrong, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Vector x{1.0, 1.0, 1.0};
+  Vector y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(0, 2) = -1;
+  a(1, 0) = -3;
+  a(1, 1) = -1;
+  a(1, 2) = 2;
+  a(2, 0) = -2;
+  a(2, 1) = 1;
+  a(2, 2) = 2;
+  Vector b{8, -11, -3};
+  Vector x = si::linalg::solve(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  Vector b{3.0, 4.0};
+  Vector x = si::linalg::solve(a, b);
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization<double>{a}, SingularMatrixError);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 5;
+  LuFactorization<double> lu(a);
+  EXPECT_NEAR(lu.determinant(), 13.0, 1e-12);
+}
+
+TEST(Lu, ReusableFactorizationMultipleRhs) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  LuFactorization<double> lu(a);
+  Vector x1 = lu.solve({1.0, 0.0});
+  Vector x2 = lu.solve({0.0, 1.0});
+  // A * x1 = e1, A * x2 = e2.
+  EXPECT_NEAR(4 * x1[0] + 1 * x1[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * x1[0] + 3 * x1[1], 0.0, 1e-12);
+  EXPECT_NEAR(4 * x2[0] + 1 * x2[1], 0.0, 1e-12);
+  EXPECT_NEAR(1 * x2[0] + 3 * x2[1], 1.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolve) {
+  using cd = std::complex<double>;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = cd(1, 1);
+  a(0, 1) = cd(0, -1);
+  a(1, 0) = cd(2, 0);
+  a(1, 1) = cd(1, -1);
+  ComplexVector b{cd(1, 0), cd(0, 1)};
+  ComplexVector x = si::linalg::solve(a, b);
+  // Verify residual.
+  const cd r0 = a(0, 0) * x[0] + a(0, 1) * x[1] - b[0];
+  const cd r1 = a(1, 0) * x[0] + a(1, 1) * x[1] - b[1];
+  EXPECT_LT(std::abs(r0), 1e-12);
+  EXPECT_LT(std::abs(r1), 1e-12);
+}
+
+TEST(Lu, RandomizedResidualProperty) {
+  // Property: for random well-conditioned systems, ||Ax - b|| is tiny.
+  std::uint64_t state = 42;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 11) & 0xFFFFF) / 1048576.0 - 0.5;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8;
+    Matrix a(n, n);
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = next();
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = next();
+      a(i, i) += 4.0;  // diagonally dominant => well-conditioned
+    }
+    Vector x = si::linalg::solve(a, b);
+    Vector r = si::linalg::subtract(a.multiply(x), b);
+    EXPECT_LT(si::linalg::norm_inf(r), 1e-10);
+  }
+}
+
+TEST(VectorOps, NormsDotAxpy) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(si::linalg::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(si::linalg::norm_inf(a), 4.0);
+  Vector b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(si::linalg::dot(a, b), 11.0);
+  Vector c = si::linalg::axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  EXPECT_DOUBLE_EQ(c[1], 8.0);
+  Vector wrong{1.0};
+  EXPECT_THROW(si::linalg::dot(a, wrong), std::invalid_argument);
+}
+
+}  // namespace

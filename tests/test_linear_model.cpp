@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsm/linear_model.hpp"
+
+namespace {
+
+using si::dsm::LoopCoefficients;
+
+TEST(LinearModel, ExactNtfIsSecondDifference) {
+  const auto h = si::dsm::ntf_impulse(LoopCoefficients::exact_eq3(), 16);
+  ASSERT_EQ(h.size(), 16u);
+  EXPECT_NEAR(h[0], 1.0, 1e-12);
+  EXPECT_NEAR(h[1], -2.0, 1e-12);
+  EXPECT_NEAR(h[2], 1.0, 1e-12);
+  for (std::size_t k = 3; k < h.size(); ++k)
+    EXPECT_NEAR(h[k], 0.0, 1e-12) << "k=" << k;
+}
+
+TEST(LinearModel, ExactStfIsDoubleDelay) {
+  const auto h = si::dsm::stf_impulse(LoopCoefficients::exact_eq3(), 16);
+  EXPECT_NEAR(h[0], 0.0, 1e-12);
+  EXPECT_NEAR(h[1], 0.0, 1e-12);
+  EXPECT_NEAR(h[2], 1.0, 1e-12);
+  for (std::size_t k = 3; k < h.size(); ++k)
+    EXPECT_NEAR(h[k], 0.0, 1e-12) << "k=" << k;
+}
+
+TEST(LinearModel, NtfDcGainIsZeroForAnyStableCoefficients) {
+  // Property: any coefficient set with two integrators has NTF zeros at
+  // DC — the impulse response must sum to ~0.
+  for (double b2 : {0.25, 0.5, 1.0}) {
+    LoopCoefficients k{0.5, 0.5, b2, 2.0 * 0.5 * b2};
+    const auto h = si::dsm::ntf_impulse(k, 4096);
+    double sum = 0.0;
+    for (double v : h) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-6) << "b2=" << b2;
+  }
+}
+
+TEST(LinearModel, StfDcGainIsUnityForMatchedCoefficients) {
+  // X -> Y at DC: sum of STF impulse = b1*b2 / (a1*b2) = b1/a1.
+  LoopCoefficients k{0.5, 0.5, 0.25, 0.25};
+  const auto h = si::dsm::stf_impulse(k, 8192);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(LinearModel, TheoreticalSqnrFormula) {
+  // Second order at OSR 128: 10*log10(1.5*5*128^5/pi^4) ~ 94.2 dB.
+  EXPECT_NEAR(si::dsm::theoretical_peak_sqnr_db(2, 128.0), 94.2, 0.1);
+  // First order at OSR 128: ~ 10*log10(4.5*128^3/pi^2) ~ 59.8 dB.
+  EXPECT_NEAR(si::dsm::theoretical_peak_sqnr_db(1, 128.0), 59.7, 0.2);
+  // +15 dB per octave for 2nd order.
+  EXPECT_NEAR(si::dsm::theoretical_peak_sqnr_db(2, 256.0) -
+                  si::dsm::theoretical_peak_sqnr_db(2, 128.0),
+              15.05, 0.1);
+}
+
+TEST(LinearModel, NoiseLimitedDrMatchesPaperBudget) {
+  // Paper Sec. V: 33 nA rms, 6 uA peak, OSR 128 -> ~45 + 21 = 66 dB...
+  // with the peak-signal convention we land at 63.3 dB, the measured
+  // value.  (The paper's 45 dB uses a slightly different reference.)
+  EXPECT_NEAR(si::dsm::noise_limited_dr_db(33e-9, 6e-6, 128.0), 63.3, 0.2);
+  // OSR doubling buys 3 dB against white noise.
+  EXPECT_NEAR(si::dsm::noise_limited_dr_db(33e-9, 6e-6, 256.0) -
+                  si::dsm::noise_limited_dr_db(33e-9, 6e-6, 128.0),
+              3.01, 0.05);
+}
+
+TEST(LinearModel, BitsFromDr) {
+  EXPECT_NEAR(si::dsm::bits_from_dr_db(63.3), 10.2, 0.1);
+  EXPECT_NEAR(si::dsm::bits_from_dr_db(1.76), 0.0, 1e-9);
+}
+
+}  // namespace

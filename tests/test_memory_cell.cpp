@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/memory_cell.hpp"
+
+namespace {
+
+using si::cells::CellClass;
+using si::cells::CellGeneration;
+using si::cells::Diff;
+using si::cells::DifferentialMemoryCell;
+using si::cells::MemoryCell;
+using si::cells::MemoryCellParams;
+
+TEST(Diff, Arithmetic) {
+  const Diff a = Diff::from_dm_cm(4e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(a.dm(), 4e-6);
+  EXPECT_DOUBLE_EQ(a.cm(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.p, 3e-6);
+  EXPECT_DOUBLE_EQ(a.m, -1e-6);
+  const Diff b = a * 2.0;
+  EXPECT_DOUBLE_EQ(b.dm(), 8e-6);
+  const Diff c = a + a - a;
+  EXPECT_DOUBLE_EQ(c.dm(), a.dm());
+}
+
+TEST(MemoryCell, IdealCellInvertsExactly) {
+  MemoryCell cell(MemoryCellParams::ideal(), 1);
+  for (double x : {-8e-6, -1e-6, 0.0, 2e-6, 12e-6}) {
+    EXPECT_DOUBLE_EQ(cell.process(x), -x);
+    EXPECT_DOUBLE_EQ(cell.stored(), x);
+  }
+}
+
+TEST(MemoryCell, TransmissionErrorScalesOutput) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.base_transmission_error = 1e-2;
+  p.gga_gain = 1.0;
+  MemoryCell cell(p, 1);
+  EXPECT_NEAR(cell.process(10e-6), -10e-6 * (1.0 - 1e-2), 1e-15);
+}
+
+TEST(MemoryCell, GgaReducesTransmissionError) {
+  MemoryCellParams base = MemoryCellParams::ideal();
+  base.base_transmission_error = 1e-2;
+  base.gga_gain = 1.0;
+  MemoryCellParams boosted = base;
+  boosted.gga_gain = 100.0;
+  EXPECT_DOUBLE_EQ(base.transmission_error(), 1e-2);
+  EXPECT_DOUBLE_EQ(boosted.transmission_error(), 1e-4);
+  MemoryCell c1(base, 1), c2(boosted, 1);
+  EXPECT_LT(std::abs(c2.process(10e-6) + 10e-6),
+            std::abs(c1.process(10e-6) + 10e-6));
+}
+
+TEST(MemoryCell, ClassAClipsAtBias) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.cell_class = CellClass::kClassA;
+  p.bias_current = 5e-6;
+  p.modulation_limit = 0.9;
+  MemoryCell cell(p, 1);
+  EXPECT_DOUBLE_EQ(cell.process(20e-6), -4.5e-6);
+  EXPECT_DOUBLE_EQ(cell.process(-20e-6), 4.5e-6);
+  EXPECT_DOUBLE_EQ(cell.process(1e-6), -1e-6);  // inside range: clean
+}
+
+TEST(MemoryCell, ClassAbPassesSignalsBeyondBias) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.cell_class = CellClass::kClassAB;
+  p.bias_current = 2e-6;
+  p.full_scale = 16e-6;
+  p.clip_factor = 4.0;
+  MemoryCell cell(p, 1);
+  // 8x the bias passes cleanly; clip only at 4x full scale.
+  EXPECT_DOUBLE_EQ(cell.process(16e-6), -16e-6);
+  EXPECT_DOUBLE_EQ(cell.process(100e-6), -64e-6);
+}
+
+TEST(MemoryCell, ChargeInjectionPolynomial) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.ci_a0 = 1e-3;
+  p.ci_a2 = 1e-2;
+  p.complementary_switches = false;
+  MemoryCell cell(p, 1);
+  const double fs = p.full_scale;
+  // At x = 0.5: di = fs*(a0 + a2*0.25).
+  const double expect = -(0.5 * fs + fs * (1e-3 + 1e-2 * 0.25));
+  EXPECT_NEAR(cell.process(0.5 * fs), expect, 1e-15);
+}
+
+TEST(MemoryCell, ComplementarySwitchesReduceConstantInjection) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.ci_a0 = 1e-3;
+  MemoryCellParams pc = p;
+  pc.complementary_switches = true;
+  p.complementary_switches = false;
+  MemoryCell plain(p, 1), compl_(pc, 1);
+  const double err_plain = std::abs(plain.process(0.0));
+  const double err_compl = std::abs(compl_.process(0.0));
+  EXPECT_NEAR(err_compl, 0.1 * err_plain, 1e-15);
+}
+
+TEST(MemoryCell, SlewCompressionAboveKnee) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.slew_knee = 10e-6;
+  p.slew_compression = 0.1;
+  MemoryCell cell(p, 1);
+  // Below the knee: exact.
+  EXPECT_DOUBLE_EQ(cell.process(8e-6), -8e-6);
+  // Above: 10u + (15u-10u)*0.9 = 14.5u.
+  EXPECT_NEAR(cell.process(15e-6), -14.5e-6, 1e-15);
+  EXPECT_NEAR(cell.process(-15e-6), 14.5e-6, 1e-15);
+}
+
+TEST(MemoryCell, SettlingResidueTowardPreviousState) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.settling_error = 0.1;
+  MemoryCell cell(p, 1);
+  cell.process(0.0);
+  // From state 0 toward 10u: reaches 9u with 10% residue.
+  EXPECT_NEAR(cell.process(10e-6), -9e-6, 1e-15);
+  // Next sample starts at 9u.
+  EXPECT_NEAR(cell.process(10e-6), -(10e-6 - 0.1 * (10e-6 - 9e-6)), 1e-18);
+}
+
+TEST(MemoryCell, NoiseHasConfiguredRms) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.thermal_noise_rms = 50e-9;
+  MemoryCell cell(p, 9);
+  const int n = 50000;
+  double s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = cell.process(0.0);
+    s2 += e * e;
+  }
+  EXPECT_NEAR(std::sqrt(s2 / n), 50e-9, 5e-9);
+}
+
+TEST(MemoryCell, RejectsBadFullScale) {
+  MemoryCellParams p;
+  p.full_scale = 0.0;
+  EXPECT_THROW(MemoryCell(p, 1), std::invalid_argument);
+}
+
+TEST(DifferentialMemoryCell, ConstantInjectionIsCommonMode) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.ci_a0 = 1e-3;
+  p.complementary_switches = false;
+  // No mismatch: the constant term lands fully on the common mode.
+  DifferentialMemoryCell cell(p, 0.0, 1);
+  const Diff out = cell.process(Diff::from_dm_cm(0.0, 0.0));
+  EXPECT_NEAR(out.dm(), 0.0, 1e-18);
+  EXPECT_NEAR(out.cm(), -1e-3 * p.full_scale, 1e-15);
+}
+
+TEST(DifferentialMemoryCell, EvenDistortionCancelsDifferentially) {
+  MemoryCellParams p = MemoryCellParams::ideal();
+  p.ci_a2 = 1e-2;
+  DifferentialMemoryCell cell(p, 0.0, 1);
+  // x^2 acts identically on +-dm/2 halves: the even term is CM only.
+  const Diff out = cell.process(Diff::from_dm_cm(8e-6, 0.0));
+  EXPECT_NEAR(out.dm(), -8e-6, 1e-12);
+  EXPECT_LT(out.cm(), 0.0);  // the even product shows up as CM
+}
+
+TEST(DifferentialMemoryCell, MismatchIsDeterministicPerSeed) {
+  MemoryCellParams p = MemoryCellParams::paper_class_ab();
+  DifferentialMemoryCell a(p, 5e-3, 42);
+  DifferentialMemoryCell b(p, 5e-3, 42);
+  DifferentialMemoryCell c(p, 5e-3, 43);
+  EXPECT_DOUBLE_EQ(a.gain_mismatch(), b.gain_mismatch());
+  EXPECT_NE(a.gain_mismatch(), c.gain_mismatch());
+}
+
+TEST(MemoryCellParams, Presets) {
+  const auto ab = MemoryCellParams::paper_class_ab();
+  EXPECT_EQ(ab.cell_class, CellClass::kClassAB);
+  EXPECT_TRUE(ab.cds());
+  const auto a = MemoryCellParams::class_a_baseline();
+  EXPECT_EQ(a.cell_class, CellClass::kClassA);
+  EXPECT_GE(a.bias_current, a.full_scale);  // class A biases above FS
+  const auto first = MemoryCellParams::first_generation();
+  EXPECT_FALSE(first.cds());
+  const auto ideal = MemoryCellParams::ideal();
+  EXPECT_DOUBLE_EQ(ideal.transmission_error(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/metrics.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using si::dsp::compute_power_spectrum;
+using si::dsp::measure_tone;
+using si::dsp::ToneMeasurementOptions;
+using si::dsp::ToneMetrics;
+
+TEST(Metrics, AliasFrequencyFolding) {
+  const double fs = 1000.0;
+  EXPECT_NEAR(si::dsp::alias_frequency(100.0, 2, fs), 200.0, 1e-9);
+  EXPECT_NEAR(si::dsp::alias_frequency(100.0, 6, fs), 400.0, 1e-9);
+  // 7th harmonic at 700 folds to 300.
+  EXPECT_NEAR(si::dsp::alias_frequency(100.0, 7, fs), 300.0, 1e-9);
+  // 13th at 1300 folds to 300.
+  EXPECT_NEAR(si::dsp::alias_frequency(100.0, 13, fs), 300.0, 1e-9);
+}
+
+TEST(Metrics, EnobFromSndr) {
+  EXPECT_NEAR(si::dsp::enob_from_sndr_db(1.76), 0.0, 1e-12);
+  EXPECT_NEAR(si::dsp::enob_from_sndr_db(98.08), 16.0, 1e-9);
+}
+
+TEST(Metrics, SnrOfSineInWhiteNoise) {
+  const std::size_t n = 1 << 15;
+  const double fs = 1e6;
+  const double amp = 1.0;
+  const double sigma = 0.01;
+  const double f = si::dsp::coherent_frequency(50e3, fs, n);
+  auto x = si::dsp::sine(n, amp, f, fs);
+  const auto noise = si::dsp::white_noise(n, sigma, 5);
+  for (std::size_t i = 0; i < n; ++i) x[i] += noise[i];
+  const auto s = compute_power_spectrum(x, fs);
+  const ToneMetrics m = measure_tone(s);
+  const double expected_snr =
+      10.0 * std::log10((amp * amp / 2.0) / (sigma * sigma));
+  EXPECT_NEAR(m.snr_db, expected_snr, 1.0);
+  EXPECT_NEAR(m.fundamental_hz, f, s.bin_width());
+}
+
+TEST(Metrics, ThdOfHardClippedSine) {
+  // A symmetric soft nonlinearity produces odd harmonics; check THD
+  // against a direct two-tone construction instead: fundamental + known
+  // 3rd harmonic 40 dB down.
+  const std::size_t n = 1 << 14;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(31e3, fs, n);
+  auto x = si::dsp::multitone(n, {{1.0, f, 0.0}, {0.01, 3.0 * f, 0.5}}, fs);
+  const auto s = compute_power_spectrum(x, fs);
+  const ToneMetrics m = measure_tone(s);
+  EXPECT_NEAR(m.thd_db, -40.0, 0.5);
+  EXPECT_NEAR(m.snr_db - m.sndr_db, m.snr_db - m.sndr_db, 0.0);
+  EXPECT_LT(m.sndr_db, m.snr_db);  // distortion reduces SNDR below SNR
+}
+
+TEST(Metrics, BandLimitedSnrIgnoresOutOfBandNoise) {
+  // Tone at 2 kHz in 10 kHz band; strong out-of-band tone at 300 kHz
+  // must not affect the in-band SNR (mirrors the paper's 10 kHz BW SNR
+  // on a 2.45 MHz stream).
+  const std::size_t n = 1 << 16;
+  const double fs = 2.45e6;
+  const double f = si::dsp::coherent_frequency(2e3, fs, n);
+  const double f_oob = si::dsp::coherent_frequency(300e3, fs, n);
+  auto x = si::dsp::multitone(n, {{1.0, f, 0.0}, {1.0, f_oob, 0.1}}, fs);
+  const auto noise = si::dsp::white_noise(n, 1e-4, 11);
+  for (std::size_t i = 0; i < n; ++i) x[i] += noise[i];
+  ToneMeasurementOptions opt;
+  opt.band_hi_hz = 10e3;
+  opt.fundamental_hz = f;
+  const auto s = compute_power_spectrum(x, fs);
+  const ToneMetrics m = measure_tone(s, opt);
+  // In-band noise power = sigma^2 * (10k / (fs/2)).
+  const double expected =
+      10.0 * std::log10(0.5 / (1e-8 * (10e3 / (fs / 2.0))));
+  EXPECT_NEAR(m.snr_db, expected, 1.5);
+}
+
+TEST(Metrics, SfdrSeesWorstSpur) {
+  const std::size_t n = 1 << 14;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(41e3, fs, n);
+  // Non-harmonic spur 50 dB down.
+  const double f_spur = si::dsp::coherent_frequency(237e3, fs, n);
+  auto x = si::dsp::multitone(
+      n, {{1.0, f, 0.0}, {3.16e-3, f_spur, 0.2}}, fs);
+  const auto s = compute_power_spectrum(x, fs);
+  const ToneMetrics m = measure_tone(s);
+  EXPECT_NEAR(m.sfdr_db, 50.0, 2.0);
+}
+
+TEST(Metrics, DynamicRangeInterpolation) {
+  // SNDR rises 1 dB / dB from -75 dB input; crosses 0 at -70 dB.
+  std::vector<double> level, sndr;
+  for (int l = -80; l <= 0; l += 5) {
+    level.push_back(l);
+    sndr.push_back(static_cast<double>(l) + 70.0);
+  }
+  EXPECT_NEAR(si::dsp::dynamic_range_db(level, sndr), 70.0, 1e-9);
+}
+
+TEST(Metrics, DynamicRangeNoCrossing) {
+  std::vector<double> level{-40.0, -20.0, 0.0};
+  std::vector<double> sndr{-30.0, -20.0, -10.0};
+  EXPECT_DOUBLE_EQ(si::dsp::dynamic_range_db(level, sndr), 0.0);
+}
+
+TEST(Metrics, DynamicRangeRejectsBadInput) {
+  EXPECT_THROW(si::dsp::dynamic_range_db({0.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(si::dsp::dynamic_range_db({0.0, 1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HarmonicTableReported) {
+  const std::size_t n = 1 << 14;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(21e3, fs, n);
+  auto x = si::dsp::multitone(
+      n, {{1.0, f, 0.0}, {0.1, 2 * f, 0.0}, {0.05, 3 * f, 0.0}}, fs);
+  const auto s = compute_power_spectrum(x, fs);
+  const ToneMetrics m = measure_tone(s);
+  ASSERT_GE(m.harmonic_powers.size(), 2u);
+  EXPECT_NEAR(m.harmonic_powers[0], 0.1 * 0.1 / 2.0, 1e-4);
+  EXPECT_NEAR(m.harmonic_powers[1], 0.05 * 0.05 / 2.0, 1e-4);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/netlists.hpp"
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+using namespace si::cells::netlists;
+
+TEST(Netlists, MemoryPairQuiescentPoint) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  MemoryPairOptions opt;
+  opt.switches_always_on = true;
+  const auto h = build_class_ab_memory_pair(c, opt, "m_");
+  dc_operating_point(c);
+  // Both memory devices saturated, a few uA quiescent, drain at ~Vdd/2.
+  EXPECT_EQ(h.mn->region(), MosRegion::kSaturation);
+  EXPECT_EQ(h.mp->region(), MosRegion::kSaturation);
+  EXPECT_NEAR(h.mn->id(), 3.7e-6, 1e-6);
+  EXPECT_NEAR(h.mn->id(), -h.mp->id(), 1e-9);
+}
+
+TEST(Netlists, MemoryPairClassAbAbsorbsLargeInput) {
+  // Push 3x the quiescent current into the sampling node: the pair
+  // re-biases and absorbs it (class AB).
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  MemoryPairOptions opt;
+  opt.switches_always_on = true;
+  const auto h = build_class_ab_memory_pair(c, opt, "m_");
+  c.add<CurrentSource>("Iin", c.ground(), h.d, 12e-6);
+  dc_operating_point(c);
+  // KCL: I(MN) - |I(MP)| = 12 uA.
+  EXPECT_NEAR(h.mn->id() + h.mp->id(), 12e-6, 0.2e-6);
+  EXPECT_EQ(h.mn->region(), MosRegion::kSaturation);
+}
+
+TEST(Netlists, MemoryPairHoldsSampleWhenSwitchesOpen) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  MemoryPairOptions opt;  // clocked ideal switches
+  const auto h = build_class_ab_memory_pair(c, opt, "m_");
+  c.add<CurrentSource>("Iin", c.ground(), h.d, 8e-6);
+  TransientOptions topt;
+  topt.t_stop = opt.clock_period * 0.75;
+  topt.dt = opt.clock_period / 1000.0;
+  Transient tr(c, topt);
+  tr.probe_voltage("m_gn");
+  const auto res = tr.run();
+  const auto& gn = res.signal("v(m_gn)");
+  // Gate voltage settles during phase 1 and holds through phase 2.
+  const auto idx = [&](double frac) {
+    return static_cast<std::size_t>(
+        std::llround(frac * opt.clock_period / topt.dt));
+  };
+  const double v_sampled = gn[idx(0.45)];
+  const double v_held = gn[idx(0.74)];
+  EXPECT_NEAR(v_held, v_sampled, 5e-3);
+  EXPECT_GT(v_sampled, 1.0);  // biased above threshold
+}
+
+TEST(Netlists, GgaBiasPoint) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  GgaOptions opt;
+  const auto g = build_gga(c, opt, "g_");
+  // Pin the high-impedance output with an ideal load (standalone,
+  // without the memory pair that normally loads it).
+  c.add<VoltageSource>("Vload", g.out, c.ground(), 2.0);
+  dc_operating_point(c);
+  // TG saturated carrying the bias current.
+  EXPECT_EQ(g.tg->region(), MosRegion::kSaturation);
+  EXPECT_NEAR(g.tg->id(), opt.bias_current, 1e-7);
+}
+
+TEST(Netlists, GgaLowersInputImpedance) {
+  // The common-gate input presents roughly 1/gm at its source.
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  GgaOptions opt;
+  const auto g = build_gga(c, opt, "g_");
+  c.add<VoltageSource>("Vload", g.out, c.ground(), 2.0);
+  auto& iin = c.add<CurrentSource>("Iin", c.ground(), g.in, 0.0);
+  iin.set_ac_magnitude(1.0);
+  dc_operating_point(c);
+  const auto ac = ac_analysis(c, {10e3});
+  const double zin = std::abs(ac.voltage(c, 0, g.in));
+  EXPECT_NEAR(zin, 1.0 / g.tg->gm(), 0.2 / g.tg->gm());
+}
+
+TEST(Netlists, CmffCancelsCommonModeStep) {
+  auto run = [](double icm) {
+    Circuit c;
+    c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+    CmffOptions opt;
+    const auto h = build_cmff(c, opt, "f_");
+    const double bias = 40e-6;
+    c.add<CurrentSource>("Ip", c.node("vdd"), h.in_p, bias + icm);
+    c.add<CurrentSource>("Im", c.node("vdd"), h.in_m, bias + icm);
+    auto& vp = c.add<VoltageSource>("Vop", h.out_p, c.ground(), 1.5);
+    auto& vm = c.add<VoltageSource>("Vom", h.out_m, c.ground(), 1.5);
+    const auto r = dc_operating_point(c);
+    SolutionView sol(c, r.x);
+    return 0.5 * (sol.branch_current(vp.branch()) +
+                  sol.branch_current(vm.branch()));
+  };
+  const double base = run(0.0);
+  const double stepped = run(5e-6);
+  // The CM step is cancelled to a few percent by the mirrors.
+  EXPECT_LT(std::abs(stepped - base), 0.1 * 5e-6);
+}
+
+TEST(Netlists, CmffPassesDifferentialSignal) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  CmffOptions opt;
+  const auto h = build_cmff(c, opt, "f_");
+  const double bias = 40e-6, idm = 6e-6;
+  c.add<CurrentSource>("Ip", c.node("vdd"), h.in_p, bias + 0.5 * idm);
+  c.add<CurrentSource>("Im", c.node("vdd"), h.in_m, bias - 0.5 * idm);
+  auto& vp = c.add<VoltageSource>("Vop", h.out_p, c.ground(), 1.5);
+  auto& vm = c.add<VoltageSource>("Vom", h.out_m, c.ground(), 1.5);
+  const auto r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  const double dm_out =
+      sol.branch_current(vp.branch()) - sol.branch_current(vm.branch());
+  EXPECT_NEAR(std::abs(dm_out), idm, 0.15 * idm);
+}
+
+TEST(Netlists, ProcessOptionDefaults) {
+  ProcessOptions pr;
+  const auto n = pr.nmos(10e-6);
+  EXPECT_DOUBLE_EQ(n.w, 10e-6);
+  EXPECT_DOUBLE_EQ(n.kp, pr.kp_n);
+  EXPECT_DOUBLE_EQ(n.vt0, pr.vt_n);
+  const auto p = pr.pmos(10e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(p.kp, pr.kp_p);
+  EXPECT_DOUBLE_EQ(p.cgs, 1e-15);
+}
+
+
+TEST(Netlists, DelayStageTransfersSampleAcrossOnePeriod) {
+  // A full transistor-level SI delay: pair 1 samples the input current
+  // during phase 1; pair 2 takes the held value during phase 2; the
+  // stage output (pair 2's held current) is measured during the NEXT
+  // phase 1 and must equal the input of the PREVIOUS period.
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  DelayStageOptions opt;
+  const double T = opt.pair.clock_period;
+  const auto h = build_delay_stage(c, opt, "s_");
+
+  // Staircase input: level changes at each period boundary, applied
+  // only while pair 1 samples (turned off just after the gates open).
+  auto level_at = [](int period) { return (period % 2 == 0) ? 6e-6 : -3e-6; };
+  std::vector<std::pair<double, double>> pts;
+  for (int k = 0; k < 6; ++k) {
+    const double t0 = k * T;
+    pts.push_back({t0 + 0.001 * T, level_at(k)});
+    pts.push_back({t0 + 0.49 * T, level_at(k)});
+    pts.push_back({t0 + 0.51 * T, 0.0});
+    pts.push_back({t0 + 0.999 * T, 0.0});
+  }
+  c.add<CurrentSource>("Iin", c.ground(), h.in,
+                       std::make_unique<PwlWave>(std::move(pts)));
+
+  // Output clamp during phase 1: reads pair 2's held current.
+  const TwoPhaseClock clk{T, 3.3, 0.0, T / 100.0, T / 50.0};
+  const NodeId meas = c.node("meas");
+  c.add<Switch>("Sout", h.mid, meas, clk.phase1(), 10.0, 1e12);
+  auto& vmeas = c.add<VoltageSource>("Vmeas", meas, c.ground(), 1.65);
+
+  TransientOptions topt;
+  topt.t_stop = 4.0 * T;
+  topt.dt = T / 1500.0;
+  Transient tr(c, topt);
+  std::vector<double> held(5, 0.0);
+  tr.run([&](double t, const SolutionView& sol) {
+    const int period = static_cast<int>(t / T);
+    const double frac = t / T - period;
+    if (period >= 1 && period < 5 && frac > 0.30 && frac < 0.45)
+      held[static_cast<std::size_t>(period)] =
+          sol.branch_current(vmeas.branch());
+  });
+  // During period k's phase 1, the output reflects the input sampled in
+  // period k-1 (one full delay, sign preserved through two inversions).
+  for (int k = 2; k <= 3; ++k) {
+    EXPECT_NEAR(held[static_cast<std::size_t>(k)], level_at(k - 1),
+                0.4e-6)
+        << "period " << k;
+  }
+}
+
+
+TEST(Netlists, BoostedCellVirtualGround) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  BoostedCellOptions opt;
+  const auto b = build_gga_boosted_cell(c, opt, "b_");
+  auto& iin = c.add<CurrentSource>("Iin", c.ground(), b.in, 0.0);
+  iin.set_ac_magnitude(1.0);
+  dc_operating_point(c);
+  EXPECT_EQ(b.gga.tg->region(), MosRegion::kSaturation);
+  const auto ac = ac_analysis(c, {100e3});
+  const double zin = std::abs(ac.voltage(c, 0, b.in));
+  // Orders of magnitude below the bare 1/(gm_n+gm_p) ~ 56 kohm.
+  EXPECT_LT(zin, 1e3);
+}
+
+}  // namespace

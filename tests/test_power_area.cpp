@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "si/power_area.hpp"
+
+namespace {
+
+using si::cells::AreaModel;
+using si::cells::CellCurrentBudget;
+using si::cells::MemoryCellParams;
+using si::cells::PowerModel;
+
+TEST(Power, DelayLineNearPaperValue) {
+  PowerModel power(3.3, CellCurrentBudget{});
+  const auto r =
+      power.delay_line(1, 16e-6, MemoryCellParams::paper_class_ab());
+  EXPECT_NEAR(r.total_mw, 0.7, 0.2);  // paper: 0.7 mW
+  EXPECT_GT(r.quiescent_mw(), 0.0);
+  EXPECT_GT(r.signal_ma, 0.0);  // class AB carries the signal
+}
+
+TEST(Power, ModulatorNearPaperValue) {
+  PowerModel power(3.3, CellCurrentBudget{});
+  const auto plain = power.modulator(6e-6, false);
+  const auto chop = power.modulator(6e-6, true);
+  EXPECT_NEAR(plain.total_mw, 3.2, 0.4);  // paper: 3.2 mW
+  // Chopper switches carry no standing current: identical power.
+  EXPECT_DOUBLE_EQ(plain.total_mw, chop.total_mw);
+}
+
+TEST(Power, ClassAScalesWithSignalRange) {
+  PowerModel power(3.3, CellCurrentBudget{});
+  MemoryCellParams a = MemoryCellParams::class_a_baseline();
+  const auto small = power.delay_line(1, 16e-6, a);
+  const auto large = power.delay_line(1, 64e-6, a);
+  EXPECT_GT(large.total_mw, small.total_mw * 3.0);
+  // Class AB grows much slower with range.
+  MemoryCellParams ab = MemoryCellParams::paper_class_ab();
+  const auto ab_small = power.delay_line(1, 16e-6, ab);
+  const auto ab_large = power.delay_line(1, 64e-6, ab);
+  EXPECT_LT(ab_large.total_mw / ab_small.total_mw,
+            large.total_mw / small.total_mw);
+}
+
+TEST(Power, ScalesWithSupply) {
+  const CellCurrentBudget b;
+  PowerModel p33(3.3, b), p25(2.5, b);
+  const auto r33 =
+      p33.delay_line(1, 16e-6, MemoryCellParams::paper_class_ab());
+  const auto r25 =
+      p25.delay_line(1, 16e-6, MemoryCellParams::paper_class_ab());
+  EXPECT_NEAR(r25.total_mw / r33.total_mw, 2.5 / 3.3, 1e-9);
+}
+
+TEST(Power, MoreDelaysMorePower) {
+  PowerModel power(3.3, CellCurrentBudget{});
+  const auto one =
+      power.delay_line(1, 16e-6, MemoryCellParams::paper_class_ab());
+  const auto four =
+      power.delay_line(4, 16e-6, MemoryCellParams::paper_class_ab());
+  EXPECT_NEAR(four.total_mw, 4.0 * one.total_mw, 1e-9);
+}
+
+TEST(Area, NearPaperValues) {
+  AreaModel a;
+  EXPECT_NEAR(a.delay_line_mm2(1), 0.06, 0.015);       // paper: 0.06
+  EXPECT_NEAR(a.modulator_mm2(false), 0.21, 0.03);     // paper: 0.21
+  EXPECT_NEAR(a.modulator_mm2(true), 0.26, 0.03);      // paper: 0.26
+}
+
+TEST(Area, ChopperAddsOnlySwitchesAndRouting) {
+  AreaModel a;
+  const double delta = a.modulator_mm2(true) - a.modulator_mm2(false);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_LT(delta, 0.06);  // "no penalty in complexity except choppers"
+}
+
+TEST(Area, GrowsWithDelayCount) {
+  AreaModel a;
+  EXPECT_GT(a.delay_line_mm2(4), a.delay_line_mm2(1) * 2.0);
+}
+
+}  // namespace

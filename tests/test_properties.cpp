@@ -1,0 +1,188 @@
+// Cross-module property tests: parameterized sweeps over device
+// geometries, integrator accuracy orders, and analytic noise/DR
+// relations the library must respect everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "dsm/linear_model.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+// ---------------------------------------------------------------- MOSFET
+
+/// (W um, L um, Vov) grid: saturation current must follow the square law.
+class MosfetSquareLaw
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MosfetSquareLaw, SaturationCurrentMatchesFormula) {
+  const auto [w_um, l_um, vov] = GetParam();
+  MosfetParams p;
+  p.w = w_um * 1e-6;
+  p.l = l_um * 1e-6;
+  p.kp = 100e-6;
+  p.vt0 = 0.8;
+  p.lambda = 0.0;
+
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("Vg", g, c.ground(), p.vt0 + vov);
+  c.add<VoltageSource>("Vd", d, c.ground(), vov + 1.0);  // saturated
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, d, g, c.ground(), p);
+  dc_operating_point(c);
+
+  const double expected = 0.5 * p.beta() * vov * vov;
+  EXPECT_NEAR(m.id(), expected, 1e-6 * expected + 1e-12);
+  EXPECT_NEAR(m.gm(), p.beta() * vov, 1e-6 * p.beta() * vov + 1e-12);
+  EXPECT_EQ(m.region(), MosRegion::kSaturation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometryGrid, MosfetSquareLaw,
+    ::testing::Combine(::testing::Values(2.0, 10.0, 50.0),
+                       ::testing::Values(0.8, 2.0, 20.0),
+                       ::testing::Values(0.1, 0.3, 0.8)));
+
+/// Body effect: threshold rises with source-bulk reverse bias.
+class MosfetBodyEffect : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetBodyEffect, ThresholdShiftMatchesFormula) {
+  const double vsb = GetParam();
+  MosfetParams p;
+  p.lambda = 0.0;
+  p.gamma = 0.45;
+  p.phi = 0.7;
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  const NodeId s = c.node("s");
+  c.add<VoltageSource>("Vs", s, c.ground(), vsb);  // bulk at ground
+  c.add<VoltageSource>("Vg", g, c.ground(), vsb + 1.3);
+  c.add<VoltageSource>("Vd", d, c.ground(), vsb + 2.0);
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, d, g, s, c.ground(), p);
+  dc_operating_point(c);
+  const double vt =
+      p.vt0 + p.gamma * (std::sqrt(p.phi + vsb) - std::sqrt(p.phi));
+  const double vov = 1.3 - vt;
+  EXPECT_NEAR(m.id(), 0.5 * p.beta() * vov * vov, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(VsbGrid, MosfetBodyEffect,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0, 1.65));
+
+// ----------------------------------------------------- integrator order
+
+/// Trapezoidal integration converges ~O(dt^2), backward Euler ~O(dt):
+/// halving dt should cut the RC step error by ~4x and ~2x respectively.
+class IntegratorOrder : public ::testing::TestWithParam<Integrator> {};
+
+namespace {
+/// RC lowpass driven by a sine from zero state (smooth forcing, so the
+/// methods exhibit their nominal orders).  Exact response:
+///   v(t) = (sin wt - wT cos wt + wT e^{-t/T}) / (1 + (wT)^2).
+double rc_error(Integrator method, double dt) {
+  const double tau = 1e-3;
+  const double f0 = 300.0;
+  const double w = 2.0 * std::numbers::pi * f0;
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, c.ground(),
+                       std::make_unique<SineWave>(0.0, 1.0, f0));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-6);
+  TransientOptions opt;
+  opt.t_stop = 4e-3;
+  opt.dt = dt;
+  opt.integrator = method;
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+  const double wt = w * tau;
+  double worst = 0.0;
+  for (std::size_t k = 1; k < res.time.size(); ++k) {
+    const double t = res.time[k];
+    const double expected = (std::sin(w * t) - wt * std::cos(w * t) +
+                             wt * std::exp(-t / tau)) /
+                            (1.0 + wt * wt);
+    worst = std::max(worst,
+                     std::abs(res.signal("v(out)")[k] - expected));
+  }
+  return worst;
+}
+}  // namespace
+
+TEST_P(IntegratorOrder, ErrorShrinksAtExpectedRate) {
+  const Integrator method = GetParam();
+  const double e1 = rc_error(method, 40e-6);
+  const double e2 = rc_error(method, 20e-6);
+  const double rate = e1 / e2;
+  if (method == Integrator::kTrapezoidal) {
+    EXPECT_GT(rate, 3.0);  // ~4x for a 2nd-order method
+  } else {
+    EXPECT_GT(rate, 1.7);  // ~2x for a 1st-order method
+    EXPECT_LT(rate, 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, IntegratorOrder,
+                         ::testing::Values(Integrator::kTrapezoidal,
+                                           Integrator::kBackwardEuler),
+                         [](const auto& info) {
+                           return info.param == Integrator::kTrapezoidal
+                                      ? "trapezoidal"
+                                      : "backward_euler";
+                         });
+
+// ------------------------------------------------------------- FFT sizes
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, ParsevalHoldsAcrossSizes) {
+  const std::size_t n = GetParam();
+  const auto x = si::dsp::white_noise(n, 1.0, n);
+  std::vector<si::dsp::cplx> xc(x.begin(), x.end());
+  const auto y = si::dsp::fft(xc);
+  double te = 0.0, fe = 0.0;
+  for (double v : x) te += v * v;
+  for (const auto& v : y) fe += std::norm(v);
+  EXPECT_NEAR(fe / static_cast<double>(n), te, 1e-8 * te);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(2u, 8u, 64u, 1024u, 16384u));
+
+// -------------------------------------------- noise-limited DR relation
+
+/// DR(noise, FS, OSR) must obey the closed form for any parameters:
+/// +6.02 dB per FS doubling, +3.01 dB per OSR doubling, -6.02 dB per
+/// noise doubling.
+class DrRelation : public ::testing::TestWithParam<double> {};
+
+TEST_P(DrRelation, ScalingLaws) {
+  const double osr = GetParam();
+  const double base = si::dsm::noise_limited_dr_db(33e-9, 6e-6, osr);
+  EXPECT_NEAR(si::dsm::noise_limited_dr_db(33e-9, 12e-6, osr) - base, 6.02,
+              0.01);
+  EXPECT_NEAR(si::dsm::noise_limited_dr_db(66e-9, 6e-6, osr) - base, -6.02,
+              0.01);
+  EXPECT_NEAR(si::dsm::noise_limited_dr_db(33e-9, 6e-6, 2 * osr) - base,
+              3.01, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(OsrGrid, DrRelation,
+                         ::testing::Values(16.0, 64.0, 128.0, 512.0));
+
+}  // namespace

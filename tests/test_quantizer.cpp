@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "dsm/quantizer.hpp"
+
+namespace {
+
+using si::cells::Diff;
+using si::dsm::CurrentDac;
+using si::dsm::CurrentQuantizer;
+
+TEST(Quantizer, SignDecision) {
+  CurrentQuantizer q;
+  EXPECT_EQ(q.decide(1e-9), +1);
+  EXPECT_EQ(q.decide(-1e-9), -1);
+  EXPECT_EQ(q.decide(0.0), +1);  // tie-break positive
+}
+
+TEST(Quantizer, OffsetShiftsThreshold) {
+  CurrentQuantizer q(1e-6, 0.0);
+  EXPECT_EQ(q.decide(0.5e-6), -1);
+  EXPECT_EQ(q.decide(1.5e-6), +1);
+}
+
+TEST(Quantizer, HysteresisHoldsLastDecision) {
+  CurrentQuantizer q(0.0, 1e-6);
+  EXPECT_EQ(q.decide(2e-6), +1);
+  // Inside the hysteresis band: stays +1 even for slightly negative.
+  EXPECT_EQ(q.decide(-0.5e-6), +1);
+  // Beyond the band: flips.
+  EXPECT_EQ(q.decide(-2e-6), -1);
+  // And now holds -1 for slightly positive.
+  EXPECT_EQ(q.decide(0.5e-6), -1);
+  q.reset();
+  EXPECT_EQ(q.decide(0.5e-6), +1);
+}
+
+TEST(Dac, IdealLevels) {
+  CurrentDac dac(6e-6, 0.0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(dac.positive_level(), 6e-6);
+  EXPECT_DOUBLE_EQ(dac.negative_level(), -6e-6);
+  EXPECT_DOUBLE_EQ(dac.convert(+1).dm(), 6e-6);
+  EXPECT_DOUBLE_EQ(dac.convert(-1).dm(), -6e-6);
+  EXPECT_DOUBLE_EQ(dac.convert(+1).cm(), 0.0);
+}
+
+TEST(Dac, MismatchMakesAsymmetricLevels) {
+  CurrentDac dac(6e-6, 0.01, 0.0, 7);
+  EXPECT_NE(dac.positive_level(), -dac.negative_level());
+  EXPECT_NEAR(dac.positive_level(), 6e-6, 6e-6 * 0.05);
+  EXPECT_NEAR(dac.negative_level(), -6e-6, 6e-6 * 0.05);
+}
+
+TEST(Dac, MismatchDeterministicPerSeed) {
+  CurrentDac a(6e-6, 0.01, 0.0, 3);
+  CurrentDac b(6e-6, 0.01, 0.0, 3);
+  EXPECT_DOUBLE_EQ(a.positive_level(), b.positive_level());
+  CurrentDac c(6e-6, 0.01, 0.0, 4);
+  EXPECT_NE(a.positive_level(), c.positive_level());
+}
+
+TEST(Dac, NoiseVariesOutput) {
+  CurrentDac dac(6e-6, 0.0, 1e-9, 5);
+  const double first = dac.convert(+1).dm();
+  bool varied = false;
+  for (int i = 0; i < 10; ++i)
+    if (dac.convert(+1).dm() != first) varied = true;
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace

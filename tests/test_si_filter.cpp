@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/signal.hpp"
+#include "si/filter.hpp"
+
+namespace {
+
+using si::cells::Diff;
+using si::cells::MemoryCellParams;
+using si::cells::SiBiquad;
+using si::cells::SiBiquadConfig;
+
+SiBiquadConfig ideal_config(double f0, double q) {
+  SiBiquadConfig c;
+  c.f0 = f0;
+  c.q = q;
+  c.cell = MemoryCellParams::ideal();
+  c.cell_mismatch_sigma = 0.0;
+  c.coeff_mismatch_sigma = 0.0;
+  c.cmff.mirror_mismatch_sigma = 0.0;
+  return c;
+}
+
+TEST(SiBiquad, UnityDcGain) {
+  SiBiquad f(ideal_config(100e3, 2.0));
+  Diff out;
+  for (int n = 0; n < 3000; ++n)
+    out = f.step(Diff::from_dm_cm(1e-6, 0.0));
+  EXPECT_NEAR(out.dm(), 1e-6, 1e-9);
+}
+
+TEST(SiBiquad, MatchesIdealResponseAcrossFrequency) {
+  const SiBiquadConfig cfg = ideal_config(100e3, 2.0);
+  const std::vector<double> freqs{20e3, 60e3, 100e3, 140e3, 300e3, 1e6};
+  auto dut = [&](const std::vector<double>& x) {
+    SiBiquad f(cfg);
+    return f.run_dm(x);
+  };
+  const auto mags = si::cells::measure_magnitude_response(
+      dut, freqs, cfg.fclk, 1e-6, 1 << 14);
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    const double ideal = SiBiquad::ideal_magnitude(cfg, freqs[k]);
+    EXPECT_NEAR(mags[k], ideal, 0.05 * ideal + 1e-3) << "f=" << freqs[k];
+  }
+}
+
+TEST(SiBiquad, ResonantPeakNearQ) {
+  const SiBiquadConfig cfg = ideal_config(100e3, 5.0);
+  auto dut = [&](const std::vector<double>& x) {
+    SiBiquad f(cfg);
+    return f.run_dm(x);
+  };
+  const auto mags = si::cells::measure_magnitude_response(
+      dut, {100e3}, cfg.fclk, 0.2e-6, 1 << 15);
+  EXPECT_NEAR(mags[0], 5.0, 0.5);
+}
+
+TEST(SiBiquad, LowpassRollsOffAtHighFrequency) {
+  const SiBiquadConfig cfg = ideal_config(50e3, 1.0);
+  auto dut = [&](const std::vector<double>& x) {
+    SiBiquad f(cfg);
+    return f.run_dm(x);
+  };
+  const auto mags = si::cells::measure_magnitude_response(
+      dut, {10e3, 500e3}, cfg.fclk, 1e-6, 1 << 14);
+  EXPECT_NEAR(mags[0], 1.0, 0.05);
+  EXPECT_LT(mags[1], 0.02);  // ~ -40 dB two decades up
+}
+
+TEST(SiBiquad, TransmissionErrorErodesQ) {
+  // The cell leak adds parasitic damping: the resonant peak drops.  The
+  // GGA boost (large gga_gain) restores it — the paper's Fig. 1 claim
+  // applied to filters.
+  SiBiquadConfig leaky = ideal_config(100e3, 5.0);
+  leaky.cell.base_transmission_error = 5e-3;
+  leaky.cell.gga_gain = 1.0;  // no GGA
+  SiBiquadConfig boosted = leaky;
+  boosted.cell.gga_gain = 50.0;  // the paper's cell
+  auto peak_of = [&](const SiBiquadConfig& cfg) {
+    auto dut = [&](const std::vector<double>& x) {
+      SiBiquad f(cfg);
+      return f.run_dm(x);
+    };
+    return si::cells::measure_magnitude_response(dut, {100e3}, cfg.fclk,
+                                                 0.2e-6, 1 << 15)[0];
+  };
+  const double q_leaky = peak_of(leaky);
+  const double q_boosted = peak_of(boosted);
+  EXPECT_LT(q_leaky, 4.0);            // visibly degraded
+  EXPECT_NEAR(q_boosted, 5.0, 0.5);   // restored by the GGA
+}
+
+TEST(SiBiquad, ResetClearsState) {
+  SiBiquad f(ideal_config(100e3, 2.0));
+  for (int n = 0; n < 100; ++n) f.step(Diff::from_dm_cm(1e-6, 0.0));
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.step(Diff{}).dm(), 0.0);
+}
+
+TEST(SiBiquad, RejectsBadConfig) {
+  SiBiquadConfig c = ideal_config(100e3, 2.0);
+  c.f0 = 0.0;
+  EXPECT_THROW(SiBiquad{c}, std::invalid_argument);
+  c = ideal_config(100e3, 2.0);
+  c.f0 = c.fclk;  // way beyond Nyquist/4
+  EXPECT_THROW(SiBiquad{c}, std::invalid_argument);
+}
+
+TEST(SiBiquad, CoefficientHelpers) {
+  SiBiquadConfig c = ideal_config(100e3, 4.0);
+  const double g = 2.0 * 3.14159265 * 100e3 / 5e6;
+  EXPECT_NEAR(c.loop_gain(), g, 1e-9);
+  // Damping carries the excess-delay predistortion term g^2.
+  EXPECT_NEAR(c.damping(), g / 4.0 + g * g, 1e-9);
+}
+
+
+TEST(SiFilterCascade, ButterworthSectionsQValues) {
+  const auto s4 = si::cells::butterworth_sections(4, 1e5);
+  ASSERT_EQ(s4.size(), 2u);
+  // Order-4 Butterworth: Q = 0.5412, 1.3066.
+  EXPECT_NEAR(s4[0].q, 0.5412, 1e-3);
+  EXPECT_NEAR(s4[1].q, 1.3066, 1e-3);
+  EXPECT_DOUBLE_EQ(s4[0].f0, 1e5);
+  EXPECT_THROW(si::cells::butterworth_sections(3, 1e5),
+               std::invalid_argument);
+  EXPECT_THROW(si::cells::butterworth_sections(0, 1e5),
+               std::invalid_argument);
+}
+
+TEST(SiFilterCascade, SixthOrderRollOff) {
+  const double f0 = 100e3, fclk = 5e6;
+  si::cells::SiFilterCascade f(6, f0, fclk,
+                               si::cells::MemoryCellParams::ideal(), 1);
+  EXPECT_EQ(f.order(), 6);
+  auto dut = [&](const std::vector<double>& x) {
+    si::cells::SiFilterCascade fresh(
+        6, f0, fclk, si::cells::MemoryCellParams::ideal(), 1);
+    return fresh.run_dm(x);
+  };
+  const std::vector<double> freqs{20e3, 100e3, 200e3, 400e3};
+  const auto mags = si::cells::measure_magnitude_response(dut, freqs, fclk,
+                                                          1e-6, 1 << 14);
+  // Passband ~1, -3 dB at the corner, then ~36 dB/octave.
+  EXPECT_NEAR(mags[0], 1.0, 0.05);
+  EXPECT_NEAR(si::dsp::db_from_amplitude_ratio(mags[1]), -3.0, 1.0);
+  const double octave_drop = si::dsp::db_from_amplitude_ratio(mags[2]) -
+                             si::dsp::db_from_amplitude_ratio(mags[3]);
+  EXPECT_NEAR(octave_drop, 36.0, 5.0);
+  // Matches the ideal cascade model.
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    const double ideal = f.ideal_magnitude(freqs[k]);
+    EXPECT_NEAR(mags[k], ideal, 0.1 * ideal + 1e-3) << freqs[k];
+  }
+}
+
+TEST(SiFilterCascade, ResetClearsAllStages) {
+  si::cells::SiFilterCascade f(4, 50e3, 5e6,
+                               si::cells::MemoryCellParams::ideal(), 2);
+  for (int n = 0; n < 50; ++n)
+    f.step(si::cells::Diff::from_dm_cm(1e-6, 0.0));
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.step(si::cells::Diff{}).dm(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/signal.hpp"
+
+namespace {
+
+TEST(Signal, DbConversionsRoundTrip) {
+  EXPECT_NEAR(si::dsp::db_from_power_ratio(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(si::dsp::db_from_amplitude_ratio(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(si::dsp::power_ratio_from_db(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(si::dsp::amplitude_ratio_from_db(-6.0), 0.501187, 1e-5);
+  for (double db : {-80.0, -6.0, 0.0, 12.5}) {
+    EXPECT_NEAR(
+        si::dsp::db_from_amplitude_ratio(si::dsp::amplitude_ratio_from_db(db)),
+        db, 1e-9);
+  }
+}
+
+TEST(Signal, RmsOfSine) {
+  const auto x = si::dsp::sine(1 << 14, 2.0, 0.01, 1.0);
+  EXPECT_NEAR(si::dsp::rms(x), 2.0 / std::sqrt(2.0), 1e-2);
+  EXPECT_NEAR(si::dsp::peak(x), 2.0, 1e-3);
+  EXPECT_NEAR(si::dsp::mean(x), 0.0, 1e-2);
+}
+
+TEST(Signal, CoherentFrequencyIsOddBin) {
+  const double fs = 2.45e6;
+  const std::size_t n = 65536;
+  const double f = si::dsp::coherent_frequency(2e3, fs, n);
+  const double bin = si::dsp::frequency_to_bin(f, fs, n);
+  EXPECT_NEAR(bin, std::round(bin), 1e-9);
+  EXPECT_EQ(static_cast<long long>(std::llround(bin)) % 2, 1);
+  EXPECT_NEAR(f, 2e3, 2.0 * fs / static_cast<double>(n));
+}
+
+TEST(Signal, CoherentFrequencyNeverBelowFirstBin) {
+  const double f = si::dsp::coherent_frequency(0.0, 1000.0, 1024);
+  EXPECT_NEAR(f, 1000.0 / 1024.0, 1e-12);
+}
+
+TEST(Signal, XoshiroDeterministic) {
+  si::dsp::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  si::dsp::Xoshiro256 c(124);
+  bool differs = false;
+  si::dsp::Xoshiro256 a2(123);
+  for (int i = 0; i < 10; ++i)
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Signal, UniformInRange) {
+  si::dsp::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Signal, NormalMomentsApproximatelyCorrect) {
+  si::dsp::Xoshiro256 rng(11);
+  const int n = 200000;
+  double s1 = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    s1 += v;
+    s2 += v * v;
+  }
+  const double mean = s1 / n;
+  const double var = s2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Signal, WhiteNoiseRms) {
+  const auto x = si::dsp::white_noise(100000, 0.5, 3);
+  EXPECT_NEAR(si::dsp::rms(x), 0.5, 0.01);
+}
+
+TEST(Signal, MultitoneSuperposition) {
+  const double fs = 1000.0;
+  const auto a = si::dsp::sine(64, 1.0, 100.0, fs);
+  const auto b = si::dsp::sine(64, 0.5, 200.0, fs, 0.7);
+  const auto m =
+      si::dsp::multitone(64, {{1.0, 100.0, 0.0}, {0.5, 200.0, 0.7}}, fs);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(m[i], a[i] + b[i], 1e-12);
+}
+
+
+TEST(Signal, JitterSnrFollowsApertureFormula) {
+  // SNR = -20 log10(2 pi f sigma_j) for a jittered sine.
+  const std::size_t n = 1 << 15;
+  const double fs = 10e6;
+  const double f = si::dsp::coherent_frequency(1e6, fs, n);
+  const double sj = 50e-12;  // 50 ps rms
+  const auto clean = si::dsp::sine(n, 1.0, f, fs);
+  const auto dirty = si::dsp::sine_with_jitter(n, 1.0, f, fs, sj, 4);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    err += (dirty[i] - clean[i]) * (dirty[i] - clean[i]);
+  const double snr = 10.0 * std::log10((0.5 * n) / err);
+  const double expected = -20.0 * std::log10(2.0 * 3.14159265 * f * sj);
+  EXPECT_NEAR(snr, expected, 1.0);
+}
+
+TEST(Signal, ZeroJitterIsExactSine) {
+  const auto a = si::dsp::sine(256, 1.0, 1e3, 1e6);
+  const auto b = si::dsp::sine_with_jitter(256, 1.0, 1e3, 1e6, 0.0, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+}  // namespace

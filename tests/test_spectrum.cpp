@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using si::dsp::compute_power_spectrum;
+using si::dsp::PowerSpectrum;
+using si::dsp::WindowType;
+
+class SpectrumWindowTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(SpectrumWindowTest, CoherentToneCalibratedPower) {
+  // Property: the integrated tone power must equal A^2/2 for every
+  // window type (the tone-calibration convention).
+  const std::size_t n = 4096;
+  const double fs = 1e6;
+  const double amp = 0.8;
+  const double f = si::dsp::coherent_frequency(50e3, fs, n);
+  const auto x = si::dsp::sine(n, amp, f, fs);
+  const PowerSpectrum s = compute_power_spectrum(x, fs, GetParam());
+  const std::size_t k0 = s.bin_of(f);
+  double tone = 0.0;
+  const int hw = si::dsp::leakage_halfwidth(GetParam());
+  for (std::size_t k = k0 - hw; k <= k0 + hw; ++k) tone += s.power[k];
+  EXPECT_NEAR(tone, amp * amp / 2.0, 1e-3 * amp * amp);
+}
+
+TEST_P(SpectrumWindowTest, WhiteNoisePowerRecovered) {
+  // Property: ENBW-corrected band integration recovers total noise power.
+  const std::size_t n = 1 << 15;
+  const double fs = 1.0;
+  const double sigma = 0.3;
+  const auto x = si::dsp::white_noise(n, sigma, 99);
+  const PowerSpectrum s = compute_power_spectrum(x, fs, GetParam());
+  const double p = s.noise_power_in_band(0.0, fs / 2.0);
+  EXPECT_NEAR(p, sigma * sigma, 0.1 * sigma * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWindows, SpectrumWindowTest,
+    ::testing::Values(WindowType::kRectangular, WindowType::kHann,
+                      WindowType::kBlackman, WindowType::kBlackmanHarris),
+    [](const auto& info) {
+      std::string n = si::dsp::window_name(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(Spectrum, BinBookkeeping) {
+  const std::size_t n = 1024;
+  const double fs = 2.45e6;
+  const auto x = si::dsp::sine(n, 1.0, fs / 8.0, fs);
+  const PowerSpectrum s = compute_power_spectrum(x, fs);
+  EXPECT_EQ(s.power.size(), n / 2 + 1);
+  EXPECT_DOUBLE_EQ(s.bin_width(), fs / static_cast<double>(n));
+  EXPECT_EQ(s.bin_of(0.0), 0u);
+  EXPECT_EQ(s.bin_of(fs / 2.0), n / 2);
+  EXPECT_NEAR(s.bin_frequency(s.bin_of(100e3)), 100e3, s.bin_width());
+}
+
+TEST(Spectrum, PeakBinFindsTone) {
+  const std::size_t n = 4096;
+  const double fs = 1e6;
+  const double f = si::dsp::coherent_frequency(123e3, fs, n);
+  const auto x = si::dsp::sine(n, 1.0, f, fs);
+  const PowerSpectrum s = compute_power_spectrum(x, fs);
+  EXPECT_EQ(s.peak_bin(1, n / 2), s.bin_of(f));
+}
+
+TEST(Spectrum, DcComponentShowsAtBinZero) {
+  const std::size_t n = 1024;
+  std::vector<double> x(n, 0.25);
+  const PowerSpectrum s = compute_power_spectrum(x, 1.0);
+  // DC cluster integrates to (mean)^2 under energy normalization.
+  double p = 0.0;
+  for (int k = 0; k <= si::dsp::leakage_halfwidth(s.window); ++k)
+    p += s.power[static_cast<std::size_t>(k)];
+  EXPECT_NEAR(p, 0.25 * 0.25, 1e-9);
+}
+
+TEST(Spectrum, SpectrumDbClampsFloor) {
+  const std::size_t n = 256;
+  std::vector<double> x(n, 0.0);
+  x[0] = 1e-30;
+  const PowerSpectrum s = compute_power_spectrum(x, 1.0);
+  const auto db = si::dsp::spectrum_db(s, 1.0, -180.0);
+  for (double v : db) EXPECT_GE(v, -180.0);
+}
+
+TEST(Spectrum, RejectsNonPowerOfTwo) {
+  std::vector<double> x(1000, 0.0);
+  EXPECT_THROW(compute_power_spectrum(x, 1.0), std::invalid_argument);
+}
+
+TEST(Spectrum, TwoTonesResolved) {
+  const std::size_t n = 8192;
+  const double fs = 1e6;
+  const double f1 = si::dsp::coherent_frequency(100e3, fs, n);
+  const double f2 = si::dsp::coherent_frequency(150e3, fs, n);
+  auto x = si::dsp::multitone(n, {{0.5, f1, 0.0}, {0.25, f2, 0.3}}, fs);
+  const PowerSpectrum s = compute_power_spectrum(x, fs);
+  double p1 = 0.0, p2 = 0.0;
+  for (int d = -4; d <= 4; ++d) {
+    p1 += s.power[s.bin_of(f1) + d];
+    p2 += s.power[s.bin_of(f2) + d];
+  }
+  EXPECT_NEAR(p1, 0.125, 1e-3);
+  EXPECT_NEAR(p2, 0.03125, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+TEST(SpiceAc, LogSpaceCoversRange) {
+  const auto f = log_space(1.0, 1000.0, 10);
+  EXPECT_NEAR(f.front(), 1.0, 1e-12);
+  EXPECT_NEAR(f.back(), 1000.0, 1e-6);
+  EXPECT_GE(f.size(), 30u);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+}
+
+TEST(SpiceAc, RcLowpassCorner) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& v1 = c.add<VoltageSource>("V1", in, c.ground(), 0.0);
+  v1.set_ac_magnitude(1.0);
+  const double rr = 1e3, cc_f = 159.155e-9;  // corner ~1 kHz
+  c.add<Resistor>("R1", in, out, rr);
+  c.add<Capacitor>("C1", out, c.ground(), cc_f);
+  dc_operating_point(c);
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * rr * cc_f);
+  const AcResult r = ac_analysis(c, {f0 / 100.0, f0, f0 * 100.0});
+  EXPECT_NEAR(std::abs(r.voltage(c, 0, out)), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(r.voltage(c, 1, out)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(r.voltage(c, 2, out)), 0.01, 1e-3);
+  // Phase at the corner is -45 degrees.
+  EXPECT_NEAR(std::arg(r.voltage(c, 1, out)) * 180.0 / std::numbers::pi,
+              -45.0, 0.5);
+}
+
+TEST(SpiceAc, CommonSourceAmplifierGain) {
+  // NMOS with ideal current-source load modeled by a big resistor:
+  // |Av| = gm * (ro || RL).
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId g = c.node("g");
+  const NodeId d = c.node("d");
+  MosfetParams p;
+  p.lambda = 0.02;
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), 3.3);
+  auto& vg = c.add<VoltageSource>("Vg", g, c.ground(), 1.0);
+  vg.set_ac_magnitude(1.0);
+  c.add<Resistor>("RL", vdd, d, 50e3);
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, d, g, c.ground(), p);
+  dc_operating_point(c);
+  ASSERT_EQ(m.region(), MosRegion::kSaturation);
+  const AcResult r = ac_analysis(c, {1e3});
+  const double gain = std::abs(r.voltage(c, 0, d));
+  const double ro = 1.0 / m.gds();
+  const double expected = m.gm() * (ro * 50e3 / (ro + 50e3));
+  EXPECT_NEAR(gain, expected, expected * 0.01);
+}
+
+TEST(SpiceAc, CapacitorBlocksDcPassesHighFreq) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& v1 = c.add<VoltageSource>("V1", in, c.ground(), 0.0);
+  v1.set_ac_magnitude(1.0);
+  c.add<Capacitor>("C1", in, out, 1e-9);
+  c.add<Resistor>("R1", out, c.ground(), 1e3);
+  dc_operating_point(c);
+  const AcResult r = ac_analysis(c, {1.0, 1e9});
+  EXPECT_LT(std::abs(r.voltage(c, 0, out)), 1e-4);
+  EXPECT_NEAR(std::abs(r.voltage(c, 1, out)), 1.0, 1e-3);
+}
+
+TEST(SpiceAc, MagnitudeDbHelper) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  auto& v1 = c.add<VoltageSource>("V1", in, c.ground(), 0.0);
+  v1.set_ac_magnitude(1.0);
+  c.add<Resistor>("R1", in, c.ground(), 1e3);
+  dc_operating_point(c);
+  const AcResult r = ac_analysis(c, {10.0, 100.0});
+  const auto db = r.magnitude_db(c, in);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_NEAR(db[0], 0.0, 1e-6);
+}
+
+}  // namespace

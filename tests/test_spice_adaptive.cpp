@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+/// Builds the canonical RC step circuit (tau = 1 ms).
+void build_rc(Circuit& c) {
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>(
+      "V1", in, c.ground(),
+      std::make_unique<PulseWave>(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-6);
+}
+
+TEST(AdaptiveTransient, MatchesAnalyticRcResponse) {
+  Circuit c;
+  build_rc(c);
+  TransientOptions opt;
+  opt.t_stop = 5e-3;
+  opt.dt = 20e-6;
+  opt.adaptive = true;
+  opt.lte_tol = 1e-5;
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+  const auto& v = res.signal("v(out)");
+  for (std::size_t k = 1; k < res.time.size(); k += 7) {
+    const double expected = 1.0 - std::exp(-res.time[k] / 1e-3);
+    EXPECT_NEAR(v[k], expected, 2e-3) << "t=" << res.time[k];
+  }
+}
+
+TEST(AdaptiveTransient, UsesFewerStepsThanEquivalentFixedGrid) {
+  // To reach similar accuracy on the exponential tail a fixed grid must
+  // stay fine everywhere; the adaptive run coarsens as the waveform
+  // flattens.
+  Circuit c;
+  build_rc(c);
+  TransientOptions opt;
+  opt.t_stop = 10e-3;
+  opt.dt = 5e-6;
+  opt.adaptive = true;
+  opt.lte_tol = 1e-4;
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+  const std::size_t fixed_steps =
+      static_cast<std::size_t>(opt.t_stop / opt.dt);
+  EXPECT_LT(res.time.size(), fixed_steps / 2);
+  // Final value still accurate.
+  EXPECT_NEAR(res.signal("v(out)").back(), 1.0, 1e-3);
+}
+
+TEST(AdaptiveTransient, StepsShrinkAtSharpEdges) {
+  // A fast pulse inside a slow window forces local refinement: time
+  // spacing near the edge is smaller than away from it.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>(
+      "V1", in, c.ground(),
+      std::make_unique<PulseWave>(0.0, 1.0, 5e-4, 1e-6, 1e-6, 2e-4, 1.0));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 10e-9);  // tau = 10 us
+  TransientOptions opt;
+  opt.t_stop = 1.5e-3;
+  opt.dt = 50e-6;
+  opt.adaptive = true;
+  opt.lte_tol = 1e-4;
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+  // Smallest step taken near the edge vs largest step overall.
+  double min_dt = 1e9, max_dt = 0.0;
+  for (std::size_t k = 1; k < res.time.size(); ++k) {
+    const double d = res.time[k] - res.time[k - 1];
+    min_dt = std::min(min_dt, d);
+    max_dt = std::max(max_dt, d);
+  }
+  EXPECT_LT(min_dt, max_dt / 8.0);
+}
+
+TEST(AdaptiveTransient, RespectsTStopExactly) {
+  Circuit c;
+  build_rc(c);
+  TransientOptions opt;
+  opt.t_stop = 1e-3;
+  opt.dt = 3e-5;  // not a divisor of t_stop
+  opt.adaptive = true;
+  Transient tr(c, opt);
+  const auto res = tr.run();
+  EXPECT_NEAR(res.time.back(), 1e-3, 1e-12);
+}
+
+TEST(AdaptiveTransient, TighterToleranceMoreSteps) {
+  auto steps_for = [&](double tol) {
+    Circuit c;
+    build_rc(c);
+    TransientOptions opt;
+    opt.t_stop = 3e-3;
+    opt.dt = 10e-6;
+    opt.adaptive = true;
+    opt.lte_tol = tol;
+    Transient tr(c, opt);
+    return tr.run().time.size();
+  };
+  EXPECT_GT(steps_for(1e-6), steps_for(1e-3));
+}
+
+}  // namespace

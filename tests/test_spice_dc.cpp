@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+TEST(SpiceDc, ResistorDivider) {
+  Circuit c;
+  const NodeId vin = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add<VoltageSource>("V1", vin, c.ground(), 3.3);
+  c.add<Resistor>("R1", vin, mid, 10e3);
+  c.add<Resistor>("R2", mid, c.ground(), 20e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  EXPECT_NEAR(sol.voltage(mid), 2.2, 1e-7);
+  EXPECT_NEAR(sol.voltage(vin), 3.3, 1e-7);
+}
+
+TEST(SpiceDc, CurrentSourceIntoResistor) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  // 1 mA from ground into n1 through the source.
+  c.add<CurrentSource>("I1", c.ground(), n1, 1e-3);
+  c.add<Resistor>("R1", n1, c.ground(), 1e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  EXPECT_NEAR(sol.voltage(n1), 1.0, 1e-9);
+}
+
+TEST(SpiceDc, VoltageSourceBranchCurrent) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  auto& v1 = c.add<VoltageSource>("V1", n1, c.ground(), 5.0);
+  c.add<Resistor>("R1", n1, c.ground(), 1e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  // 5 mA flows out of the source's + terminal, so the branch current
+  // (into the + terminal) is -5 mA.
+  EXPECT_NEAR(sol.branch_current(v1.branch()), -5e-3, 1e-9);
+  EXPECT_NEAR(v1.dissipated_power(sol), 25e-3, 1e-9);
+}
+
+TEST(SpiceDc, VccsAmplifier) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("Vin", in, c.ground(), 0.1);
+  c.add<Vccs>("G1", out, c.ground(), in, c.ground(), 1e-3);
+  c.add<Resistor>("RL", out, c.ground(), 10e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  // i = gm * vin = 0.1 mA into RL, but current flows out of node 'out':
+  // v(out) = -gm * vin * RL = -1 V.
+  EXPECT_NEAR(sol.voltage(out), -1.0, 1e-7);
+}
+
+TEST(SpiceDc, VcvsGain) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("Vin", in, c.ground(), 0.25);
+  c.add<Vcvs>("E1", out, c.ground(), in, c.ground(), 4.0);
+  c.add<Resistor>("RL", out, c.ground(), 1e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  EXPECT_NEAR(sol.voltage(out), 1.0, 1e-9);
+}
+
+TEST(SpiceDc, SeriesResistorsKirchhoff) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId d = c.node("d");
+  c.add<VoltageSource>("V1", a, c.ground(), 9.0);
+  c.add<Resistor>("R1", a, b, 1e3);
+  c.add<Resistor>("R2", b, d, 2e3);
+  c.add<Resistor>("R3", d, c.ground(), 3e3);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  EXPECT_NEAR(sol.voltage(b), 9.0 * 5.0 / 6.0, 1e-7);
+  EXPECT_NEAR(sol.voltage(d), 9.0 * 3.0 / 6.0, 1e-7);
+}
+
+TEST(SpiceDc, GroundAliases) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), c.ground());
+  EXPECT_EQ(c.node("gnd"), c.ground());
+  EXPECT_EQ(c.node("GND"), c.ground());
+  EXPECT_EQ(c.node("sig"), c.node("sig"));
+  EXPECT_NE(c.node("sig"), c.ground());
+}
+
+TEST(SpiceDc, FindElementByName) {
+  Circuit c;
+  c.add<Resistor>("Rx", c.node("a"), c.ground(), 1.0);
+  EXPECT_NE(c.find("Rx"), nullptr);
+  EXPECT_EQ(c.find("nope"), nullptr);
+}
+
+TEST(SpiceDc, DiodeConnectedNmosBias) {
+  // Diode-connected NMOS fed by a current source: Vgs should satisfy
+  // I = beta/2 * (Vgs - Vt)^2 (ignoring lambda at small vds... here
+  // vds = vgs so include the (1 + lambda vds) factor).
+  Circuit c;
+  const NodeId g = c.node("gate");
+  MosfetParams p;
+  p.w = 20e-6;
+  p.l = 2e-6;
+  p.kp = 100e-6;
+  p.vt0 = 0.8;
+  p.lambda = 0.0;
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, g, g, c.ground(), p);
+  c.add<CurrentSource>("Ib", c.ground(), g, 50e-6);  // push 50 uA into gate
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  const double beta = p.beta();
+  const double vgs_expected = p.vt0 + std::sqrt(2.0 * 50e-6 / beta);
+  EXPECT_NEAR(sol.voltage(g), vgs_expected, 1e-6);
+  EXPECT_EQ(m.region(), MosRegion::kSaturation);
+  EXPECT_NEAR(m.id(), 50e-6, 1e-9);
+}
+
+TEST(SpiceDc, NmosCurrentMirrorCopiesCurrent) {
+  Circuit c;
+  const NodeId g = c.node("gate");
+  const NodeId out = c.node("out");
+  MosfetParams p;
+  p.lambda = 0.0;  // ideal mirror
+  c.add<Mosfet>("M1", MosType::kNmos, g, g, c.ground(), p);
+  c.add<Mosfet>("M2", MosType::kNmos, out, g, c.ground(), p);
+  c.add<CurrentSource>("Iref", c.ground(), g, 100e-6);
+  c.add<VoltageSource>("Vd", out, c.ground(), 2.0);  // keep M2 saturated
+  const DcResult r = dc_operating_point(c);
+  (void)r;
+  const auto* m2 = dynamic_cast<const Mosfet*>(c.find("M2"));
+  ASSERT_NE(m2, nullptr);
+  EXPECT_NEAR(m2->id(), 100e-6, 1e-9);
+}
+
+TEST(SpiceDc, GminSteppingRescuesHardCircuit) {
+  // A floating gate node with only MOSFETs attached converges thanks to
+  // the gmin-stepping fallback / device gmin.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId mid = c.node("mid");
+  MosfetParams p;
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), 3.3);
+  c.add<Mosfet>("M1", MosType::kPmos, mid, mid, vdd, p);
+  c.add<Mosfet>("M2", MosType::kNmos, mid, mid, c.ground(), p);
+  const DcResult r = dc_operating_point(c);
+  SolutionView sol(c, r.x);
+  EXPECT_GT(sol.voltage(mid), 0.0);
+  EXPECT_LT(sol.voltage(mid), 3.3);
+}
+
+TEST(SpiceDc, DcSweepResistorLoadLine) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  auto& src = c.add<CurrentSource>("I1", c.ground(), n1, 0.0);
+  c.add<Resistor>("R1", n1, c.ground(), 2e3);
+  const std::vector<double> currents{1e-3, 2e-3, 3e-3};
+  const auto volts = dc_sweep(
+      c, currents, [&](double i) { src.set_level(i); },
+      [&](const SolutionView& sol) { return sol.voltage(n1); });
+  ASSERT_EQ(volts.size(), 3u);
+  for (std::size_t k = 0; k < currents.size(); ++k)
+    EXPECT_NEAR(volts[k], currents[k] * 2e3, 1e-7);
+}
+
+}  // namespace

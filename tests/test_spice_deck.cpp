@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/deck.hpp"
+#include "spice/elements.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+TEST(Deck, OpOnly) {
+  auto r = run_deck(R"(
+V1 in 0 DC 3.0
+R1 in out 1k
+R2 out 0 2k
+.op
+)");
+  SolutionView sol(r.circuit, r.op.x);
+  EXPECT_NEAR(sol.voltage(r.node("out")), 2.0, 1e-6);
+  EXPECT_FALSE(r.tran.has_value());
+  EXPECT_FALSE(r.ac.has_value());
+  EXPECT_FALSE(r.noise.has_value());
+}
+
+TEST(Deck, TransientWithProbes) {
+  auto r = run_deck(R"(
+V1 in 0 PULSE(0 1 0 1n 1n 1.9m 2m)
+R1 in out 1k
+C1 out 0 1u
+.tran 1u 3m
+.probe v(out) i(v1)
+)");
+  ASSERT_TRUE(r.tran.has_value());
+  const auto& v = r.tran->signal("v(out)");
+  ASSERT_FALSE(v.empty());
+  // tau = 1 ms: ~63% at 1 ms.
+  const std::size_t k1ms = 1000;
+  EXPECT_NEAR(v[k1ms], 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NO_THROW(r.tran->signal("i(v1)"));
+}
+
+TEST(Deck, AcSweepWithSourceMagnitude) {
+  auto r = run_deck(R"(
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 159.155n
+.ac dec 10 10 100k
+)");
+  ASSERT_TRUE(r.ac.has_value());
+  // Find the bin nearest the 1 kHz corner: |H| ~ 0.707.
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * 1e3 * 159.155e-9);
+  std::size_t best = 0;
+  for (std::size_t k = 0; k < r.ac->freq.size(); ++k)
+    if (std::abs(r.ac->freq[k] - f0) < std::abs(r.ac->freq[best] - f0))
+      best = k;
+  EXPECT_NEAR(std::abs(r.ac->voltage(r.circuit, best, r.node("out"))),
+              1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Deck, NoiseAnalysis) {
+  auto r = run_deck(R"(
+R1 n1 0 10k
+.noise v(n1) dec 5 1k 100k
+)");
+  ASSERT_TRUE(r.noise.has_value());
+  const double expected = 4.0 * kBoltzmann * kRoomTemperature * 10e3;
+  EXPECT_NEAR(r.noise->total_psd[0], expected, 1e-9 * expected);
+}
+
+TEST(Deck, CombinedAnalyses) {
+  auto r = run_deck(R"(
+V1 in 0 SIN(0 1 10k) AC 1
+R1 in out 10k
+C1 out 0 1n
+.tran 1u 100u
+.probe v(out)
+.ac dec 5 100 1meg
+.noise v(out) dec 5 100 1meg
+)");
+  EXPECT_TRUE(r.tran.has_value());
+  EXPECT_TRUE(r.ac.has_value());
+  EXPECT_TRUE(r.noise.has_value());
+}
+
+TEST(Deck, DirectiveErrors) {
+  EXPECT_THROW(run_deck(".tran 1u"), ParseError);
+  EXPECT_THROW(run_deck(".ac lin 5 1 10"), ParseError);
+  EXPECT_THROW(run_deck(".noise i(v1) dec 5 1 10\nR1 a 0 1k"), ParseError);
+  EXPECT_THROW(run_deck(".probe x(a)\nR1 a 0 1k"), ParseError);
+}
+
+TEST(Deck, AcMagnitudeOnCurrentSource) {
+  auto r = run_deck(R"(
+I1 0 n1 DC 0 AC 1
+R1 n1 0 2k
+.ac dec 2 1k 10k
+)");
+  ASSERT_TRUE(r.ac.has_value());
+  EXPECT_NEAR(std::abs(r.ac->voltage(r.circuit, 0, r.node("n1"))), 2e3,
+              1.0);
+}
+
+}  // namespace

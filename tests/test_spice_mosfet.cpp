@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/op_report.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+/// Measures the drain current of a single NMOS at given Vgs / Vds.
+double nmos_id(double vgs, double vds, const MosfetParams& p) {
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("Vg", g, c.ground(), vgs);
+  auto& vd = c.add<VoltageSource>("Vd", d, c.ground(), vds);
+  (void)vd;
+  c.add<Mosfet>("M1", MosType::kNmos, d, g, c.ground(), p);
+  dc_operating_point(c);
+  const auto* m = dynamic_cast<const Mosfet*>(c.find("M1"));
+  return m->id();
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  MosfetParams p;
+  p.vt0 = 0.8;
+  EXPECT_NEAR(nmos_id(0.5, 1.0, p), 0.0, 1e-9);
+}
+
+TEST(Mosfet, SaturationSquareLaw) {
+  MosfetParams p;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  p.kp = 100e-6;
+  p.vt0 = 0.8;
+  p.lambda = 0.0;
+  const double vov = 0.4;
+  const double expected = 0.5 * p.beta() * vov * vov;
+  EXPECT_NEAR(nmos_id(p.vt0 + vov, 2.0, p), expected, 1e-9);
+}
+
+TEST(Mosfet, TriodeRegionCurrent) {
+  MosfetParams p;
+  p.lambda = 0.0;
+  const double vov = 0.5, vds = 0.1;
+  const double expected = p.beta() * (vov * vds - 0.5 * vds * vds);
+  EXPECT_NEAR(nmos_id(p.vt0 + vov, vds, p), expected, 1e-9);
+}
+
+TEST(Mosfet, ContinuousAcrossTriodeSaturationBoundary) {
+  MosfetParams p;
+  const double vov = 0.3;
+  const double below = nmos_id(p.vt0 + vov, vov - 1e-6, p);
+  const double above = nmos_id(p.vt0 + vov, vov + 1e-6, p);
+  EXPECT_NEAR(below, above, std::abs(above) * 1e-3);
+}
+
+TEST(Mosfet, ChannelLengthModulationSlope) {
+  MosfetParams p;
+  p.lambda = 0.05;
+  const double i1 = nmos_id(1.2, 1.0, p);
+  const double i2 = nmos_id(1.2, 2.0, p);
+  EXPECT_GT(i2, i1);
+  EXPECT_NEAR(i2 / i1, (1 + 0.05 * 2.0) / (1 + 0.05 * 1.0), 1e-6);
+}
+
+TEST(Mosfet, PmosMirrorsNmosBehaviour) {
+  // PMOS with source at VDD conducts when gate is pulled low.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  MosfetParams p;
+  p.lambda = 0.0;
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), 3.3);
+  c.add<VoltageSource>("Vg", g, c.ground(), 3.3 - 1.2);  // Vsg = 1.2
+  c.add<VoltageSource>("Vd", d, c.ground(), 1.0);
+  c.add<Mosfet>("M1", MosType::kPmos, d, g, vdd, p);
+  dc_operating_point(c);
+  const auto* m = dynamic_cast<const Mosfet*>(c.find("M1"));
+  const double vov = 1.2 - p.vt0;
+  // Current flows source->drain: drain current is negative by our
+  // drain->source sign convention.
+  EXPECT_NEAR(m->id(), -0.5 * p.beta() * vov * vov, 1e-9);
+  EXPECT_EQ(m->region(), MosRegion::kSaturation);
+}
+
+TEST(Mosfet, SymmetricSourceDrainSwap) {
+  // Reverse the terminals: same magnitude, opposite sign of current.
+  MosfetParams p;
+  p.lambda = 0.0;
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("Vg", g, c.ground(), 1.3);
+  c.add<VoltageSource>("Va", a, c.ground(), -0.2);
+  // Device with drain at 'a' (below source potential): conducts backward.
+  c.add<Mosfet>("M1", MosType::kNmos, a, g, c.ground(), p);
+  dc_operating_point(c);
+  const auto* m = dynamic_cast<const Mosfet*>(c.find("M1"));
+  EXPECT_LT(m->id(), 0.0);
+}
+
+TEST(Mosfet, OperatingPointAccessors) {
+  MosfetParams p;
+  p.lambda = 0.0;
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("Vg", g, c.ground(), 1.2);
+  c.add<VoltageSource>("Vd", d, c.ground(), 2.0);
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, d, g, c.ground(), p);
+  dc_operating_point(c);
+  EXPECT_NEAR(m.vgs(), 1.2, 1e-9);
+  EXPECT_NEAR(m.vds(), 2.0, 1e-9);
+  EXPECT_NEAR(m.vdsat(), 0.4, 1e-9);
+  EXPECT_NEAR(m.gm(), p.beta() * 0.4, 1e-9);
+}
+
+TEST(Mosfet, GateCapacitanceHoldsChargeWhenSwitchedOff) {
+  // The SI memory principle at device level: charge a gate cap through a
+  // switch, open the switch, and the gate voltage (hence drain current)
+  // holds.
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  const NodeId in = c.node("in");
+  MosfetParams p;
+  p.lambda = 0.0;
+  p.cgs = 0.5e-12;
+  c.add<VoltageSource>("Vd", d, c.ground(), 2.0);
+  c.add<VoltageSource>("Vin", in, c.ground(), 1.2);
+  // Switch closes for the first 1 us, then opens.
+  c.add<Switch>("S1", in, g,
+                std::make_unique<PulseWave>(1.0, 0.0, 1e-6, 1e-9, 1e-9,
+                                            1e-3, 2e-3),
+                100.0, 1e15);
+  auto& m = c.add<Mosfet>("M1", MosType::kNmos, d, g, c.ground(), p);
+
+  TransientOptions opt;
+  opt.t_stop = 5e-6;
+  opt.dt = 5e-9;
+  Transient tr(c, opt);
+  tr.probe_voltage("g");
+  const auto res = tr.run();
+  const auto& vg = res.signal("v(g)");
+  // After opening (t > 1 us), the gate holds 1.2 V.
+  EXPECT_NEAR(vg.back(), 1.2, 1e-2);
+  EXPECT_NEAR(m.id(), 0.5 * p.beta() * 0.4 * 0.4, 1e-6);
+}
+
+TEST(Mosfet, RejectsNonPositiveGeometry) {
+  MosfetParams p;
+  p.w = -1.0;
+  Circuit c;
+  EXPECT_THROW(
+      c.add<Mosfet>("M1", MosType::kNmos, c.node("d"), c.node("g"),
+                    c.ground(), p),
+      std::invalid_argument);
+}
+
+
+TEST(Mosfet, OpReportCollectsDevices) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), 3.3);
+  MosfetParams p;
+  c.add<Mosfet>("M1", MosType::kNmos, g, g, c.ground(), p);
+  c.add<Resistor>("Rb", vdd, g, 50e3);
+  const DcResult r = dc_operating_point(c);
+  const auto report = si::spice::op_report(c, r.x);
+  ASSERT_EQ(report.devices.size(), 1u);
+  EXPECT_EQ(report.devices[0].name, "M1");
+  EXPECT_EQ(report.device("M1").region, MosRegion::kSaturation);
+  EXPECT_GT(report.device("M1").gm, 0.0);
+  EXPECT_TRUE(report.all_saturated());
+  EXPECT_GT(report.supply_power, 0.0);
+  EXPECT_THROW(report.device("nope"), std::out_of_range);
+  EXPECT_EQ(si::spice::region_name(MosRegion::kTriode), "triode");
+}
+
+}  // namespace

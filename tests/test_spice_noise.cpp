@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/noise.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+TEST(SpiceNoise, ResistorSpotNoise) {
+  // A lone resistor to ground: output PSD = 4kTR at low frequency.
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  const double rr = 10e3;
+  c.add<Resistor>("R1", n1, c.ground(), rr);
+  dc_operating_point(c);
+  NoiseOptions opt;
+  opt.output_p = n1;
+  opt.freqs = {1e3};
+  const NoiseResult res = noise_analysis(c, opt);
+  const double expected = 4.0 * kBoltzmann * kRoomTemperature * rr;
+  EXPECT_NEAR(res.total_psd[0], expected, expected * 1e-9);
+}
+
+TEST(SpiceNoise, KtOverCIntegratedNoise) {
+  // RC network: integrated output noise = kT/C regardless of R.
+  for (double rr : {1e3, 100e3}) {
+    Circuit c;
+    const NodeId n1 = c.node("n1");
+    const double cap = 1e-12;
+    c.add<Resistor>("R1", n1, c.ground(), rr);
+    c.add<Capacitor>("C1", n1, c.ground(), cap);
+    dc_operating_point(c);
+    NoiseOptions opt;
+    opt.output_p = n1;
+    // Integrate far beyond the corner.
+    const double f_corner = 1.0 / (2.0 * std::numbers::pi * rr * cap);
+    opt.freqs = log_space(f_corner * 1e-3, f_corner * 1e4, 40);
+    const NoiseResult res = noise_analysis(c, opt);
+    const double ktc = kBoltzmann * kRoomTemperature / cap;
+    const double integrated =
+        res.integrated_power(opt.freqs.front(), opt.freqs.back());
+    EXPECT_NEAR(integrated, ktc, 0.02 * ktc) << "R=" << rr;
+  }
+}
+
+TEST(SpiceNoise, TwoResistorsAddInPowers) {
+  // Two equal parallel resistors: output PSD = 4kT * (R/2).
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  const double rr = 20e3;
+  c.add<Resistor>("R1", n1, c.ground(), rr);
+  c.add<Resistor>("R2", n1, c.ground(), rr);
+  dc_operating_point(c);
+  NoiseOptions opt;
+  opt.output_p = n1;
+  opt.freqs = {1e3};
+  const NoiseResult res = noise_analysis(c, opt);
+  const double expected = 4.0 * kBoltzmann * kRoomTemperature * (rr / 2.0);
+  EXPECT_NEAR(res.total_psd[0], expected, expected * 1e-9);
+  EXPECT_EQ(res.by_source.size(), 2u);
+  EXPECT_NEAR(res.by_source[0].psd[0], res.by_source[1].psd[0],
+              expected * 1e-9);
+}
+
+TEST(SpiceNoise, MosfetThermalNoiseAtDiodeNode) {
+  // Diode-connected MOSFET: output impedance ~1/gm, channel noise
+  // 4kT*gamma*gm -> v_n^2 = 4kT*gamma/gm.
+  Circuit c;
+  const NodeId g = c.node("g");
+  MosfetParams p;
+  p.lambda = 0.0;
+  c.add<Mosfet>("M1", MosType::kNmos, g, g, c.ground(), p);
+  c.add<CurrentSource>("Ib", c.ground(), g, 100e-6);
+  dc_operating_point(c);
+  const auto* m = dynamic_cast<const Mosfet*>(c.find("M1"));
+  ASSERT_NE(m, nullptr);
+  NoiseOptions opt;
+  opt.output_p = g;
+  opt.freqs = {1e3};
+  const NoiseResult res = noise_analysis(c, opt);
+  const double expected = 4.0 * kBoltzmann * kRoomTemperature * (2.0 / 3.0) *
+                          m->gm() / (m->gm() * m->gm());
+  EXPECT_NEAR(res.total_psd[0], expected, 0.02 * expected);
+}
+
+TEST(SpiceNoise, FlickerNoiseRisesAtLowFrequency) {
+  Circuit c;
+  const NodeId g = c.node("g");
+  MosfetParams p;
+  p.lambda = 0.0;
+  p.kf = 1e-24;
+  c.add<Mosfet>("M1", MosType::kNmos, g, g, c.ground(), p);
+  c.add<CurrentSource>("Ib", c.ground(), g, 100e-6);
+  dc_operating_point(c);
+  NoiseOptions opt;
+  opt.output_p = g;
+  opt.freqs = {1.0, 10.0, 1e6};
+  const NoiseResult res = noise_analysis(c, opt);
+  EXPECT_GT(res.total_psd[0], res.total_psd[1]);
+  EXPECT_GT(res.total_psd[1], res.total_psd[2]);
+  // 1/f slope between 1 and 10 Hz: close to 10x.
+  const double flicker0 = res.total_psd[0] - res.total_psd[2];
+  const double flicker1 = res.total_psd[1] - res.total_psd[2];
+  EXPECT_NEAR(flicker0 / flicker1, 10.0, 0.5);
+}
+
+TEST(SpiceNoise, RequiresFrequencies) {
+  Circuit c;
+  c.add<Resistor>("R", c.node("a"), c.ground(), 1e3);
+  NoiseOptions opt;
+  opt.output_p = c.node("a");
+  EXPECT_THROW(noise_analysis(c, opt), std::invalid_argument);
+}
+
+}  // namespace

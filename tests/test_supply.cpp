@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/supply.hpp"
+
+namespace {
+
+using si::cells::max_modulation_index;
+using si::cells::minimum_supply;
+using si::cells::minimum_supply_with_cmfb;
+using si::cells::SupplyDesign;
+
+TEST(Supply, QuiescentPoint) {
+  SupplyDesign d;  // Vt = 1 V, overdrives per header
+  const auto r = minimum_supply(d, 0.0);
+  EXPECT_NEAR(r.eq1_volts, 0.25 + 0.20 + 0.20 + 0.25, 1e-12);
+  EXPECT_NEAR(r.eq2_volts, 1.0 + 1.0 + 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(r.minimum_volts, r.eq2_volts);
+  EXPECT_TRUE(r.feasible_at(3.3));
+}
+
+TEST(Supply, PaperClaimFullModulationAt3p3V) {
+  // "the use of low power supply voltage, say 3.3 V, is possible, given
+  // the threshold voltages around 1 V, even with large input currents."
+  SupplyDesign d;
+  EXPECT_TRUE(minimum_supply(d, 1.0).feasible_at(3.3));
+  EXPECT_TRUE(minimum_supply(d, 2.0).feasible_at(3.3));
+  EXPECT_GT(max_modulation_index(d, 3.3), 2.0);
+}
+
+TEST(Supply, SqrtGrowthWithModulationIndex) {
+  SupplyDesign d;
+  const double m0 = minimum_supply(d, 0.0).eq2_volts;
+  const double m3 = minimum_supply(d, 3.0).eq2_volts;
+  // sqrt(1+3) = 2: the overdrive part doubles.
+  EXPECT_NEAR(m3 - 2.0, (m0 - 2.0) * 2.0, 1e-12);
+}
+
+TEST(Supply, RejectsNegativeModulation) {
+  EXPECT_THROW(minimum_supply(SupplyDesign{}, -0.1), std::invalid_argument);
+}
+
+TEST(Supply, MaxModulationIndexIsConsistent) {
+  SupplyDesign d;
+  const double mi = max_modulation_index(d, 3.0);
+  EXPECT_TRUE(minimum_supply(d, mi * 0.999).feasible_at(3.0));
+  EXPECT_FALSE(minimum_supply(d, mi * 1.01).feasible_at(3.0));
+}
+
+TEST(Supply, InfeasibleSupplyGivesZero) {
+  SupplyDesign d;
+  EXPECT_DOUBLE_EQ(max_modulation_index(d, 1.0), 0.0);
+}
+
+TEST(Supply, CmfbHeadroomRaisesRequirement) {
+  SupplyDesign d;
+  const auto ff = minimum_supply(d, 1.0);
+  const auto fb = minimum_supply_with_cmfb(d, 1.0, 0.4);
+  EXPECT_NEAR(fb.minimum_volts, ff.minimum_volts + 0.4, 1e-12);
+}
+
+TEST(Supply, LowerThresholdsAllowLowerSupply) {
+  SupplyDesign lo;
+  lo.vt_mn = lo.vt_mp = 0.4;
+  // The 1.2 V / 0.8 mW direction of the authors' follow-up work [15].
+  EXPECT_LT(minimum_supply(lo, 0.5).minimum_volts, 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "si/delay_line.hpp"
+
+namespace {
+
+using si::analysis::run_two_tone_test;
+using si::analysis::TwoToneConfig;
+
+TEST(TwoTone, LinearDutHasNoImd) {
+  TwoToneConfig cfg;
+  cfg.fft_points = 1 << 14;
+  cfg.clock_hz = 1e6;
+  cfg.f1_hz = 90e3;
+  cfg.f2_hz = 110e3;
+  cfg.settle_samples = 0;
+  const auto r = run_two_tone_test(
+      [](const std::vector<double>& x) { return x; }, 1.0, cfg);
+  EXPECT_LT(r.imd3_db, -120.0);
+  EXPECT_NEAR(r.tone_power, 0.5, 1e-3);
+}
+
+TEST(TwoTone, CubicNonlinearityGivesPredictedImd3) {
+  // y = x + c3 x^3: IMD3 amplitude = 3 c3 A^3 / 4 per product.
+  const double c3 = 0.01;
+  TwoToneConfig cfg;
+  cfg.fft_points = 1 << 14;
+  cfg.clock_hz = 1e6;
+  cfg.f1_hz = 90e3;
+  cfg.f2_hz = 110e3;
+  cfg.settle_samples = 0;
+  const double amp = 1.0;
+  const auto r = run_two_tone_test(
+      [&](const std::vector<double>& x) {
+        auto y = x;
+        for (auto& v : y) v = v + c3 * v * v * v;
+        return y;
+      },
+      amp, cfg);
+  const double imd_amp = 3.0 * c3 * amp * amp * amp / 4.0;
+  // Two products, each with power imd_amp^2/2, relative to A^2/2.
+  const double expected_db =
+      10.0 * std::log10(2.0 * (imd_amp * imd_amp / 2.0) / (amp * amp / 2.0));
+  EXPECT_NEAR(r.imd3_db, expected_db, 1.0);
+}
+
+TEST(TwoTone, DelayLineImdConsistentWithThd) {
+  // The class-AB delay line's cubic injection shows up as IMD3 of the
+  // same order of magnitude as its single-tone THD.
+  TwoToneConfig cfg;
+  cfg.fft_points = 1 << 15;
+  cfg.clock_hz = 5e6;
+  cfg.f1_hz = 5e3;
+  cfg.f2_hz = 8e3;
+  si::cells::DelayLineConfig dl;
+  const auto r = run_two_tone_test(
+      [&](const std::vector<double>& x) {
+        si::cells::DelayLine line(dl);
+        return line.run_dm(x);
+      },
+      4e-6, cfg);  // 4 uA per tone -> 8 uA envelope peak
+  EXPECT_LT(r.imd3_db, -40.0);
+  EXPECT_GT(r.imd3_db, -75.0);
+}
+
+TEST(TwoTone, RejectsBadConfig) {
+  TwoToneConfig cfg;
+  cfg.fft_points = 1000;
+  EXPECT_THROW(run_two_tone_test(
+                   [](const std::vector<double>& x) { return x; }, 1.0, cfg),
+               std::invalid_argument);
+  cfg.fft_points = 1 << 12;
+  cfg.f1_hz = cfg.f2_hz = 10e3;
+  EXPECT_THROW(run_two_tone_test(
+                   [](const std::vector<double>& x) { return x; }, 1.0, cfg),
+               std::invalid_argument);
+}
+
+TEST(TwoTone, DutLengthMismatchThrows) {
+  TwoToneConfig cfg;
+  cfg.fft_points = 1 << 10;
+  cfg.settle_samples = 0;
+  EXPECT_THROW(
+      run_two_tone_test(
+          [](const std::vector<double>& x) {
+            return std::vector<double>(x.begin(), x.begin() + 3);
+          },
+          1.0, cfg),
+      std::runtime_error);
+}
+
+}  // namespace

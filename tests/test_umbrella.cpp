@@ -1,0 +1,31 @@
+// Compile-and-smoke test of the umbrella header: every public API is
+// reachable from a single include.
+#include <gtest/gtest.h>
+
+#include "si_toolkit.hpp"
+
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // linalg
+  si::linalg::Matrix m = si::linalg::Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  // dsp
+  EXPECT_TRUE(si::dsp::is_power_of_two(64));
+  // spice
+  si::spice::Circuit c;
+  c.add<si::spice::Resistor>("R1", c.node("a"), c.ground(), 1e3);
+  c.add<si::spice::VoltageSource>("V1", c.node("a"), c.ground(), 1.0);
+  const auto r = si::spice::dc_operating_point(c);
+  EXPECT_EQ(r.x.size(), c.system_size());
+  // cells
+  si::cells::MemoryCell cell(si::cells::MemoryCellParams::ideal(), 1);
+  EXPECT_DOUBLE_EQ(cell.process(1e-6), -1e-6);
+  // dsm
+  si::dsm::IdealSecondOrderModulator mod(0.5, 0.5, 0.25, 0.25, 1.0);
+  EXPECT_TRUE(mod.step(0.1) == 1 || mod.step(0.1) == -1);
+  // analysis
+  EXPECT_EQ(si::analysis::fmt(1.0, 0), "1");
+}
+
+}  // namespace

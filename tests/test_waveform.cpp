@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/waveform.hpp"
+
+namespace {
+
+using namespace si::spice;
+
+TEST(Waveform, DcIsConstant) {
+  DcWave w(2.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 2.5);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 2.5);
+}
+
+TEST(Waveform, SineOffsetDelayPhase) {
+  SineWave w(1.0, 0.5, 1e3, 1e-3, 0.0);
+  // Before the delay: offset only.
+  EXPECT_DOUBLE_EQ(w.value(0.5e-3), 1.0);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 1.0);
+  // Quarter period after the delay: peak.
+  EXPECT_NEAR(w.value(1e-3 + 0.25e-3), 1.5, 1e-12);
+  EXPECT_THROW(SineWave(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Waveform, PulseTimingAndEdges) {
+  // 0->1, delay 1us, rise 0.1us, width 0.3us, fall 0.1us, period 1us.
+  PulseWave w(0.0, 1.0, 1e-6, 0.1e-6, 0.1e-6, 0.3e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-6), 0.0);       // before delay
+  EXPECT_NEAR(w.value(1.05e-6), 0.5, 1e-9);     // mid rise
+  EXPECT_DOUBLE_EQ(w.value(1.2e-6), 1.0);       // plateau
+  EXPECT_NEAR(w.value(1.45e-6), 0.5, 1e-9);     // mid fall
+  EXPECT_DOUBLE_EQ(w.value(1.8e-6), 0.0);       // low
+  // Second period repeats.
+  EXPECT_DOUBLE_EQ(w.value(2.2e-6), 1.0);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 0.0);
+}
+
+TEST(Waveform, PulseValidation) {
+  EXPECT_THROW(PulseWave(0, 1, 0, -1e-9, 1e-9, 1e-9, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(PulseWave(0, 1, 0, 1e-9, 1e-9, 2e-6, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(PulseWave(0, 1, 0, 1e-9, 1e-9, 1e-9, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Waveform, PulseZeroEdgeTimes) {
+  PulseWave w(0.0, 1.0, 0.0, 0.0, 0.0, 0.5e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(w.value(0.1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(0.7e-6), 0.0);
+}
+
+TEST(Waveform, PwlInterpolationAndClamping) {
+  PwlWave w({{0.0, 0.0}, {1.0, 2.0}, {3.0, -2.0}});
+  EXPECT_DOUBLE_EQ(w.value(-5.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);    // interpolation
+  EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);    // second segment
+  EXPECT_DOUBLE_EQ(w.value(10.0), -2.0);  // clamp high
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(PwlWave({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(PwlWave({{1.0, 0.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(PwlWave({{2.0, 0.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, TwoPhaseClockNonOverlap) {
+  const TwoPhaseClock clk{200e-9, 3.3, 0.0, 2e-9, 4e-9};
+  const auto p1 = clk.phase1();
+  const auto p2 = clk.phase2();
+  // Mid phase 1: p1 high, p2 low.
+  EXPECT_GT(p1->value(50e-9), 3.0);
+  EXPECT_LT(p2->value(50e-9), 0.3);
+  // Mid phase 2: reversed.
+  EXPECT_LT(p1->value(150e-9), 0.3);
+  EXPECT_GT(p2->value(150e-9), 3.0);
+  // In the non-overlap gap both are low.
+  EXPECT_LT(p1->value(100e-9), 0.5);
+  EXPECT_LT(p2->value(100e-9), 0.5);
+  // Never both high: scan a full period.
+  for (double t = 0.0; t < 200e-9; t += 0.5e-9)
+    EXPECT_FALSE(p1->value(t) > 1.65 && p2->value(t) > 1.65) << "t=" << t;
+}
+
+TEST(Waveform, ClockPeriodicity) {
+  const TwoPhaseClock clk{1e-6, 1.0, 0.0, 5e-9, 10e-9};
+  const auto p1 = clk.phase1();
+  for (double t : {0.3e-6, 0.7e-6}) {
+    EXPECT_NEAR(p1->value(t), p1->value(t + 1e-6), 1e-12);
+    EXPECT_NEAR(p1->value(t), p1->value(t + 7e-6), 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/window.hpp"
+
+namespace {
+
+using si::dsp::WindowType;
+
+class WindowParamTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowParamTest, SymmetricAndBounded) {
+  const auto w = si::dsp::make_window(GetParam(), 129);
+  ASSERT_EQ(w.size(), 129u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "asymmetric at " << i;
+    EXPECT_LE(w[i], 1.0 + 1e-4);  // flattop coefficients sum to ~1.000006
+  }
+  // Peak at the center for symmetric cosine windows.
+  EXPECT_NEAR(w[64], *std::max_element(w.begin(), w.end()), 1e-12);
+}
+
+TEST_P(WindowParamTest, CoherentGainInRange) {
+  const auto w = si::dsp::make_window(GetParam(), 1024);
+  const double cg = si::dsp::coherent_gain(w);
+  EXPECT_GT(cg, 0.0);
+  EXPECT_LE(cg, 1.0 + 1e-12);
+}
+
+TEST_P(WindowParamTest, EnbwAtLeastOne) {
+  const auto w = si::dsp::make_window(GetParam(), 4096);
+  EXPECT_GE(si::dsp::enbw_bins(w), 1.0 - 1e-12);
+  EXPECT_GE(si::dsp::leakage_halfwidth(GetParam()), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWindows, WindowParamTest,
+    ::testing::Values(WindowType::kRectangular, WindowType::kHann,
+                      WindowType::kHamming, WindowType::kBlackman,
+                      WindowType::kBlackmanHarris, WindowType::kFlatTop),
+    [](const auto& info) {
+      std::string n = si::dsp::window_name(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = si::dsp::make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(si::dsp::enbw_bins(w), 1.0);
+  EXPECT_DOUBLE_EQ(si::dsp::coherent_gain(w), 1.0);
+}
+
+TEST(Window, KnownEnbwValues) {
+  // Textbook ENBW values (large-N asymptotes).
+  const auto hann = si::dsp::make_window(WindowType::kHann, 1 << 16);
+  EXPECT_NEAR(si::dsp::enbw_bins(hann), 1.5, 1e-3);
+  const auto blackman = si::dsp::make_window(WindowType::kBlackman, 1 << 16);
+  EXPECT_NEAR(si::dsp::enbw_bins(blackman), 1.7268, 1e-3);
+}
+
+TEST(Window, BlackmanEndpointsNearZero) {
+  const auto w = si::dsp::make_window(WindowType::kBlackman, 101);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[50], 1.0, 1e-12);
+}
+
+TEST(Window, RejectsZeroLength) {
+  EXPECT_THROW(si::dsp::make_window(WindowType::kHann, 0),
+               std::invalid_argument);
+}
+
+TEST(Window, NamesAreDistinct) {
+  EXPECT_EQ(si::dsp::window_name(WindowType::kBlackman), "blackman");
+  EXPECT_NE(si::dsp::window_name(WindowType::kHann),
+            si::dsp::window_name(WindowType::kHamming));
+}
+
+}  // namespace
