@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chopper.dir/bench_ablation_chopper.cpp.o"
+  "CMakeFiles/bench_ablation_chopper.dir/bench_ablation_chopper.cpp.o.d"
+  "bench_ablation_chopper"
+  "bench_ablation_chopper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_si_vs_sc.dir/bench_ablation_si_vs_sc.cpp.o"
+  "CMakeFiles/bench_ablation_si_vs_sc.dir/bench_ablation_si_vs_sc.cpp.o.d"
+  "bench_ablation_si_vs_sc"
+  "bench_ablation_si_vs_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_si_vs_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq12_supply.dir/bench_eq12_supply.cpp.o"
+  "CMakeFiles/bench_eq12_supply.dir/bench_eq12_supply.cpp.o.d"
+  "bench_eq12_supply"
+  "bench_eq12_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq12_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

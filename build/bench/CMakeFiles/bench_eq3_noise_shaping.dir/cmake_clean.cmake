@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq3_noise_shaping.dir/bench_eq3_noise_shaping.cpp.o"
+  "CMakeFiles/bench_eq3_noise_shaping.dir/bench_eq3_noise_shaping.cpp.o.d"
+  "bench_eq3_noise_shaping"
+  "bench_eq3_noise_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_noise_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_decimator.dir/bench_ext_decimator.cpp.o"
+  "CMakeFiles/bench_ext_decimator.dir/bench_ext_decimator.cpp.o.d"
+  "bench_ext_decimator"
+  "bench_ext_decimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_decimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

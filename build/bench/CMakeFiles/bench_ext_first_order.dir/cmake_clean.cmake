@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_first_order.dir/bench_ext_first_order.cpp.o"
+  "CMakeFiles/bench_ext_first_order.dir/bench_ext_first_order.cpp.o.d"
+  "bench_ext_first_order"
+  "bench_ext_first_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_first_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_low_voltage.dir/bench_ext_low_voltage.cpp.o"
+  "CMakeFiles/bench_ext_low_voltage.dir/bench_ext_low_voltage.cpp.o.d"
+  "bench_ext_low_voltage"
+  "bench_ext_low_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_low_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mash.dir/bench_ext_mash.cpp.o"
+  "CMakeFiles/bench_ext_mash.dir/bench_ext_mash.cpp.o.d"
+  "bench_ext_mash"
+  "bench_ext_mash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

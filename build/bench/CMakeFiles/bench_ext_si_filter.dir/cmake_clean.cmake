@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_si_filter.dir/bench_ext_si_filter.cpp.o"
+  "CMakeFiles/bench_ext_si_filter.dir/bench_ext_si_filter.cpp.o.d"
+  "bench_ext_si_filter"
+  "bench_ext_si_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_si_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

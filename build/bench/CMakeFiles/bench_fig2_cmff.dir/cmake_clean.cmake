@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cmff.dir/bench_fig2_cmff.cpp.o"
+  "CMakeFiles/bench_fig2_cmff.dir/bench_fig2_cmff.cpp.o.d"
+  "bench_fig2_cmff"
+  "bench_fig2_cmff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cmff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_chopper.dir/bench_fig6_chopper.cpp.o"
+  "CMakeFiles/bench_fig6_chopper.dir/bench_fig6_chopper.cpp.o.d"
+  "bench_fig6_chopper"
+  "bench_fig6_chopper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_chopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

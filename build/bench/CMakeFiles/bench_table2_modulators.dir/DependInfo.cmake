@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_modulators.cpp" "bench/CMakeFiles/bench_table2_modulators.dir/bench_table2_modulators.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_modulators.dir/bench_table2_modulators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/si_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/si_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/si_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/si_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

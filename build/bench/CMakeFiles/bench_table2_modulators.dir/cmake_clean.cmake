@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_modulators.dir/bench_table2_modulators.cpp.o"
+  "CMakeFiles/bench_table2_modulators.dir/bench_table2_modulators.cpp.o.d"
+  "bench_table2_modulators"
+  "bench_table2_modulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_modulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

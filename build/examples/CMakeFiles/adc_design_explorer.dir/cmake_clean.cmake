@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_design_explorer.dir/adc_design_explorer.cpp.o"
+  "CMakeFiles/adc_design_explorer.dir/adc_design_explorer.cpp.o.d"
+  "adc_design_explorer"
+  "adc_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_cell_lab.dir/memory_cell_lab.cpp.o"
+  "CMakeFiles/memory_cell_lab.dir/memory_cell_lab.cpp.o.d"
+  "memory_cell_lab"
+  "memory_cell_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_cell_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

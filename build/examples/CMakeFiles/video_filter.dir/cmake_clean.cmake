@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_filter.dir/video_filter.cpp.o"
+  "CMakeFiles/video_filter.dir/video_filter.cpp.o.d"
+  "video_filter"
+  "video_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voiceband_adc.dir/voiceband_adc.cpp.o"
+  "CMakeFiles/voiceband_adc.dir/voiceband_adc.cpp.o.d"
+  "voiceband_adc"
+  "voiceband_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voiceband_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_analysis.dir/measure.cpp.o"
+  "CMakeFiles/si_analysis.dir/measure.cpp.o.d"
+  "CMakeFiles/si_analysis.dir/monte_carlo.cpp.o"
+  "CMakeFiles/si_analysis.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/si_analysis.dir/plot.cpp.o"
+  "CMakeFiles/si_analysis.dir/plot.cpp.o.d"
+  "CMakeFiles/si_analysis.dir/table.cpp.o"
+  "CMakeFiles/si_analysis.dir/table.cpp.o.d"
+  "libsi_analysis.a"
+  "libsi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/adc.cpp" "src/dsm/CMakeFiles/si_dsm.dir/adc.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/adc.cpp.o.d"
+  "/root/repo/src/dsm/decimator.cpp" "src/dsm/CMakeFiles/si_dsm.dir/decimator.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/decimator.cpp.o.d"
+  "/root/repo/src/dsm/linear_model.cpp" "src/dsm/CMakeFiles/si_dsm.dir/linear_model.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/linear_model.cpp.o.d"
+  "/root/repo/src/dsm/mash.cpp" "src/dsm/CMakeFiles/si_dsm.dir/mash.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/mash.cpp.o.d"
+  "/root/repo/src/dsm/modulator.cpp" "src/dsm/CMakeFiles/si_dsm.dir/modulator.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/modulator.cpp.o.d"
+  "/root/repo/src/dsm/quantizer.cpp" "src/dsm/CMakeFiles/si_dsm.dir/quantizer.cpp.o" "gcc" "src/dsm/CMakeFiles/si_dsm.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/si/CMakeFiles/si_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/si_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_dsm.dir/adc.cpp.o"
+  "CMakeFiles/si_dsm.dir/adc.cpp.o.d"
+  "CMakeFiles/si_dsm.dir/decimator.cpp.o"
+  "CMakeFiles/si_dsm.dir/decimator.cpp.o.d"
+  "CMakeFiles/si_dsm.dir/linear_model.cpp.o"
+  "CMakeFiles/si_dsm.dir/linear_model.cpp.o.d"
+  "CMakeFiles/si_dsm.dir/mash.cpp.o"
+  "CMakeFiles/si_dsm.dir/mash.cpp.o.d"
+  "CMakeFiles/si_dsm.dir/modulator.cpp.o"
+  "CMakeFiles/si_dsm.dir/modulator.cpp.o.d"
+  "CMakeFiles/si_dsm.dir/quantizer.cpp.o"
+  "CMakeFiles/si_dsm.dir/quantizer.cpp.o.d"
+  "libsi_dsm.a"
+  "libsi_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

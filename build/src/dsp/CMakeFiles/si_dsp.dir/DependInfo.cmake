@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/estimation.cpp" "src/dsp/CMakeFiles/si_dsp.dir/estimation.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/estimation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/si_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/dsp/CMakeFiles/si_dsp.dir/filter.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/dsp/metrics.cpp" "src/dsp/CMakeFiles/si_dsp.dir/metrics.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/metrics.cpp.o.d"
+  "/root/repo/src/dsp/signal.cpp" "src/dsp/CMakeFiles/si_dsp.dir/signal.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/signal.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/si_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/si_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/si_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

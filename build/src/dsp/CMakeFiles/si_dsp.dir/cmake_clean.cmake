@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_dsp.dir/estimation.cpp.o"
+  "CMakeFiles/si_dsp.dir/estimation.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/fft.cpp.o"
+  "CMakeFiles/si_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/filter.cpp.o"
+  "CMakeFiles/si_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/metrics.cpp.o"
+  "CMakeFiles/si_dsp.dir/metrics.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/signal.cpp.o"
+  "CMakeFiles/si_dsp.dir/signal.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/si_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/si_dsp.dir/window.cpp.o"
+  "CMakeFiles/si_dsp.dir/window.cpp.o.d"
+  "libsi_dsp.a"
+  "libsi_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_linalg.dir/lu.cpp.o"
+  "CMakeFiles/si_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/si_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/si_linalg.dir/matrix.cpp.o.d"
+  "libsi_linalg.a"
+  "libsi_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/si/blocks.cpp" "src/si/CMakeFiles/si_cells.dir/blocks.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/blocks.cpp.o.d"
+  "/root/repo/src/si/common_mode.cpp" "src/si/CMakeFiles/si_cells.dir/common_mode.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/common_mode.cpp.o.d"
+  "/root/repo/src/si/delay_line.cpp" "src/si/CMakeFiles/si_cells.dir/delay_line.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/delay_line.cpp.o.d"
+  "/root/repo/src/si/filter.cpp" "src/si/CMakeFiles/si_cells.dir/filter.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/filter.cpp.o.d"
+  "/root/repo/src/si/memory_cell.cpp" "src/si/CMakeFiles/si_cells.dir/memory_cell.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/memory_cell.cpp.o.d"
+  "/root/repo/src/si/netlists.cpp" "src/si/CMakeFiles/si_cells.dir/netlists.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/netlists.cpp.o.d"
+  "/root/repo/src/si/noise_model.cpp" "src/si/CMakeFiles/si_cells.dir/noise_model.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/noise_model.cpp.o.d"
+  "/root/repo/src/si/power_area.cpp" "src/si/CMakeFiles/si_cells.dir/power_area.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/power_area.cpp.o.d"
+  "/root/repo/src/si/supply.cpp" "src/si/CMakeFiles/si_cells.dir/supply.cpp.o" "gcc" "src/si/CMakeFiles/si_cells.dir/supply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/si_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_cells.dir/blocks.cpp.o"
+  "CMakeFiles/si_cells.dir/blocks.cpp.o.d"
+  "CMakeFiles/si_cells.dir/common_mode.cpp.o"
+  "CMakeFiles/si_cells.dir/common_mode.cpp.o.d"
+  "CMakeFiles/si_cells.dir/delay_line.cpp.o"
+  "CMakeFiles/si_cells.dir/delay_line.cpp.o.d"
+  "CMakeFiles/si_cells.dir/filter.cpp.o"
+  "CMakeFiles/si_cells.dir/filter.cpp.o.d"
+  "CMakeFiles/si_cells.dir/memory_cell.cpp.o"
+  "CMakeFiles/si_cells.dir/memory_cell.cpp.o.d"
+  "CMakeFiles/si_cells.dir/netlists.cpp.o"
+  "CMakeFiles/si_cells.dir/netlists.cpp.o.d"
+  "CMakeFiles/si_cells.dir/noise_model.cpp.o"
+  "CMakeFiles/si_cells.dir/noise_model.cpp.o.d"
+  "CMakeFiles/si_cells.dir/power_area.cpp.o"
+  "CMakeFiles/si_cells.dir/power_area.cpp.o.d"
+  "CMakeFiles/si_cells.dir/supply.cpp.o"
+  "CMakeFiles/si_cells.dir/supply.cpp.o.d"
+  "libsi_cells.a"
+  "libsi_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/si_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/si_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/dc.cpp" "src/spice/CMakeFiles/si_spice.dir/dc.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/dc.cpp.o.d"
+  "/root/repo/src/spice/deck.cpp" "src/spice/CMakeFiles/si_spice.dir/deck.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/deck.cpp.o.d"
+  "/root/repo/src/spice/element.cpp" "src/spice/CMakeFiles/si_spice.dir/element.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/element.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/spice/CMakeFiles/si_spice.dir/elements.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/elements.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/si_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/spice/CMakeFiles/si_spice.dir/noise.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/noise.cpp.o.d"
+  "/root/repo/src/spice/op_report.cpp" "src/spice/CMakeFiles/si_spice.dir/op_report.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/op_report.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/si_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/si_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/si_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/si_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_spice.dir/ac.cpp.o"
+  "CMakeFiles/si_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/si_spice.dir/circuit.cpp.o"
+  "CMakeFiles/si_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/si_spice.dir/dc.cpp.o"
+  "CMakeFiles/si_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/si_spice.dir/deck.cpp.o"
+  "CMakeFiles/si_spice.dir/deck.cpp.o.d"
+  "CMakeFiles/si_spice.dir/element.cpp.o"
+  "CMakeFiles/si_spice.dir/element.cpp.o.d"
+  "CMakeFiles/si_spice.dir/elements.cpp.o"
+  "CMakeFiles/si_spice.dir/elements.cpp.o.d"
+  "CMakeFiles/si_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/si_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/si_spice.dir/noise.cpp.o"
+  "CMakeFiles/si_spice.dir/noise.cpp.o.d"
+  "CMakeFiles/si_spice.dir/op_report.cpp.o"
+  "CMakeFiles/si_spice.dir/op_report.cpp.o.d"
+  "CMakeFiles/si_spice.dir/parser.cpp.o"
+  "CMakeFiles/si_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/si_spice.dir/transient.cpp.o"
+  "CMakeFiles/si_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/si_spice.dir/waveform.cpp.o"
+  "CMakeFiles/si_spice.dir/waveform.cpp.o.d"
+  "libsi_spice.a"
+  "libsi_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/test_analysis.cpp.o"
+  "CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/test_monte_carlo.cpp.o"
+  "CMakeFiles/test_analysis.dir/test_monte_carlo.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/test_two_tone.cpp.o"
+  "CMakeFiles/test_analysis.dir/test_two_tone.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

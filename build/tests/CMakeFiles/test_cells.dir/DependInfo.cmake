@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/test_cells.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_common_mode.cpp" "tests/CMakeFiles/test_cells.dir/test_common_mode.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_common_mode.cpp.o.d"
+  "/root/repo/tests/test_delay_line.cpp" "tests/CMakeFiles/test_cells.dir/test_delay_line.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_delay_line.cpp.o.d"
+  "/root/repo/tests/test_memory_cell.cpp" "tests/CMakeFiles/test_cells.dir/test_memory_cell.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_memory_cell.cpp.o.d"
+  "/root/repo/tests/test_noise_model.cpp" "tests/CMakeFiles/test_cells.dir/test_noise_model.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_noise_model.cpp.o.d"
+  "/root/repo/tests/test_power_area.cpp" "tests/CMakeFiles/test_cells.dir/test_power_area.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_power_area.cpp.o.d"
+  "/root/repo/tests/test_si_filter.cpp" "tests/CMakeFiles/test_cells.dir/test_si_filter.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_si_filter.cpp.o.d"
+  "/root/repo/tests/test_supply.cpp" "tests/CMakeFiles/test_cells.dir/test_supply.cpp.o" "gcc" "tests/CMakeFiles/test_cells.dir/test_supply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/si/CMakeFiles/si_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/si_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/si_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/si_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

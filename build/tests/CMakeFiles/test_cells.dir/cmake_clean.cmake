@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/test_blocks.cpp.o"
+  "CMakeFiles/test_cells.dir/test_blocks.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_common_mode.cpp.o"
+  "CMakeFiles/test_cells.dir/test_common_mode.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_delay_line.cpp.o"
+  "CMakeFiles/test_cells.dir/test_delay_line.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_memory_cell.cpp.o"
+  "CMakeFiles/test_cells.dir/test_memory_cell.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_noise_model.cpp.o"
+  "CMakeFiles/test_cells.dir/test_noise_model.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_power_area.cpp.o"
+  "CMakeFiles/test_cells.dir/test_power_area.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_si_filter.cpp.o"
+  "CMakeFiles/test_cells.dir/test_si_filter.cpp.o.d"
+  "CMakeFiles/test_cells.dir/test_supply.cpp.o"
+  "CMakeFiles/test_cells.dir/test_supply.cpp.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm.dir/test_decimator.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_decimator.cpp.o.d"
+  "CMakeFiles/test_dsm.dir/test_dsm_modulator.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_dsm_modulator.cpp.o.d"
+  "CMakeFiles/test_dsm.dir/test_linear_model.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_linear_model.cpp.o.d"
+  "CMakeFiles/test_dsm.dir/test_mash.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_mash.cpp.o.d"
+  "CMakeFiles/test_dsm.dir/test_quantizer.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_quantizer.cpp.o.d"
+  "test_dsm"
+  "test_dsm.pdb"
+  "test_dsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_estimation.cpp" "tests/CMakeFiles/test_dsp.dir/test_estimation.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_estimation.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/test_dsp.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_dsp.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_signal.cpp" "tests/CMakeFiles/test_dsp.dir/test_signal.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_signal.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

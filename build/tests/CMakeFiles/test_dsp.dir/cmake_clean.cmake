@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/test_estimation.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_estimation.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_filter.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_filter.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_signal.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_signal.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_spectrum.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_window.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_window.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlists.dir/test_netlists.cpp.o"
+  "CMakeFiles/test_netlists.dir/test_netlists.cpp.o.d"
+  "test_netlists"
+  "test_netlists.pdb"
+  "test_netlists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

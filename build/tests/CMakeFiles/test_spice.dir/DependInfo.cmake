@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spice_ac.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_ac.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_ac.cpp.o.d"
+  "/root/repo/tests/test_spice_adaptive.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_adaptive.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_adaptive.cpp.o.d"
+  "/root/repo/tests/test_spice_dc.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_dc.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_dc.cpp.o.d"
+  "/root/repo/tests/test_spice_deck.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_deck.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_deck.cpp.o.d"
+  "/root/repo/tests/test_spice_mosfet.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_mosfet.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_mosfet.cpp.o.d"
+  "/root/repo/tests/test_spice_noise.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_noise.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_noise.cpp.o.d"
+  "/root/repo/tests/test_spice_parser.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_parser.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_parser.cpp.o.d"
+  "/root/repo/tests/test_spice_transient.cpp" "tests/CMakeFiles/test_spice.dir/test_spice_transient.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_spice_transient.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/test_spice.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/si_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/si_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/si_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

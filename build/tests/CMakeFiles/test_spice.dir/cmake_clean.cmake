@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/test_spice_ac.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_ac.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_adaptive.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_adaptive.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_dc.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_dc.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_deck.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_deck.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_mosfet.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_mosfet.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_noise.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_noise.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_parser.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_parser.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_transient.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_transient.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_waveform.cpp.o"
+  "CMakeFiles/test_spice.dir/test_waveform.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
