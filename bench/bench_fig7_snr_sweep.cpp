@@ -45,13 +45,19 @@ int main() {
 
   const auto levels = analysis::level_grid(-70.0, 0.0, 5.0);
 
-  std::uint64_t seed = 7;
-  const auto sweep_plain = analysis::amplitude_sweep(
-      [&](double) { return make_modulator(false, kFullScale, seed++); },
+  // Levels dispatch concurrently through the si::runtime pool; seeds
+  // derive from the level index (7+k / 107+k, exactly the values the
+  // historical serial sweep used), so the table is thread-count
+  // invariant.
+  const auto sweep_plain = analysis::amplitude_sweep_parallel(
+      [&](std::size_t k, double) {
+        return make_modulator(false, kFullScale, 7 + k);
+      },
       levels, kFullScale, cfg);
-  seed = 107;
-  const auto sweep_chop = analysis::amplitude_sweep(
-      [&](double) { return make_modulator(true, kFullScale, seed++); },
+  const auto sweep_chop = analysis::amplitude_sweep_parallel(
+      [&](std::size_t k, double) {
+        return make_modulator(true, kFullScale, 107 + k);
+      },
       levels, kFullScale, cfg);
 
   analysis::Table t({"level [dB]", "non-chopper SNDR [dB]",

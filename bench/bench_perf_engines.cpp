@@ -3,8 +3,11 @@
 // modulator and delay-line throughput.
 #include <benchmark/benchmark.h>
 
+#include "analysis/monte_carlo.hpp"
 #include "dsm/adc.hpp"
 #include "dsm/modulator.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/result_cache.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
 #include "dsp/spectrum.hpp"
@@ -134,6 +137,60 @@ void BM_AdcConvert(benchmark::State& state) {
                           static_cast<std::int64_t>(x.size()));
 }
 BENCHMARK(BM_AdcConvert);
+
+// One Monte-Carlo trial of realistic cost: a mismatch-seeded modulator
+// over 2048 samples.  Used by the runtime scaling benchmarks below.
+double mc_modulator_trial(std::uint64_t seed) {
+  si::dsm::SiModulatorConfig cfg;
+  cfg.seed = seed;
+  si::dsm::SiSigmaDeltaModulator m(cfg);
+  double acc = 0.0;
+  for (int k = 0; k < 2048; ++k) acc += m.step(1e-6);
+  return acc;
+}
+
+// Serial reference: the pre-runtime single-core loop.
+void BM_MonteCarloSerial(benchmark::State& state) {
+  const int runs = static_cast<int>(state.range(0));
+  si::analysis::McOptions opts;
+  opts.parallel = false;
+  for (auto _ : state) {
+    auto st = si::analysis::monte_carlo(runs, mc_modulator_trial, opts);
+    benchmark::DoNotOptimize(st.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+}
+BENCHMARK(BM_MonteCarloSerial)->Arg(64)->UseRealTime();
+
+// Same workload through the work-stealing pool at 1/2/4/8 threads —
+// near-linear scaling up to the physical core count, bit-identical
+// samples at every width.
+void BM_MonteCarloParallel(benchmark::State& state) {
+  const int runs = 64;
+  si::runtime::set_thread_count(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto st = si::analysis::monte_carlo(runs, mc_modulator_trial, 1);
+    benchmark::DoNotOptimize(st.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+  si::runtime::set_thread_count(0);  // back to env/hardware default
+}
+BENCHMARK(BM_MonteCarloParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Content-addressed caching: every iteration after the first is served
+// from the shared series cache without running a single trial.
+void BM_MonteCarloCached(benchmark::State& state) {
+  const int runs = 64;
+  si::analysis::McOptions opts;
+  opts.cache_key =
+      si::runtime::Fnv1a().str("perf.mc_modulator_trial").u64(2048).digest();
+  for (auto _ : state) {
+    auto st = si::analysis::monte_carlo(runs, mc_modulator_trial, opts);
+    benchmark::DoNotOptimize(st.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+}
+BENCHMARK(BM_MonteCarloCached)->UseRealTime();
 
 }  // namespace
 

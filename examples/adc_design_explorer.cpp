@@ -11,6 +11,7 @@
 #include "analysis/table.hpp"
 #include "dsm/linear_model.hpp"
 #include "dsm/modulator.hpp"
+#include "runtime/parallel.hpp"
 #include "si/noise_model.hpp"
 #include "si/power_area.hpp"
 #include "si/supply.hpp"
@@ -30,18 +31,26 @@ int main() {
   analysis::Table t({"OSR", "clock", "quant.-limited [bit]",
                      "thermal-limited [bit]", "achievable [bit]",
                      "power [mW]"});
-  for (double osr : {32.0, 64.0, 128.0, 256.0, 512.0}) {
-    const double fclk = 2.0 * band * osr;
-    const double q_bits =
-        dsm::bits_from_dr_db(dsm::theoretical_peak_sqnr_db(2, osr));
-    const double t_bits = dsm::bits_from_dr_db(dsm::noise_limited_dr_db(
-        noise.cell_current_rms(), full_scale, osr));
-    const double bits = std::min(q_bits, t_bits);
-    const auto p = power.modulator(full_scale, false);
-    t.add_row({analysis::fmt(osr, 0), analysis::fmt_eng(fclk, "Hz", 2),
-               analysis::fmt(q_bits, 1), analysis::fmt(t_bits, 1),
-               analysis::fmt(bits, 1), analysis::fmt(p.total_mw, 1)});
-  }
+  // Candidate designs are independent: evaluate the grid concurrently
+  // through the runtime pool, then print the rows in OSR order.
+  const std::vector<double> osr_grid{32.0, 64.0, 128.0, 256.0, 512.0};
+  const auto rows = runtime::parallel_map(
+      osr_grid,
+      [&](const double& osr) {
+        const double fclk = 2.0 * band * osr;
+        const double q_bits =
+            dsm::bits_from_dr_db(dsm::theoretical_peak_sqnr_db(2, osr));
+        const double t_bits = dsm::bits_from_dr_db(dsm::noise_limited_dr_db(
+            noise.cell_current_rms(), full_scale, osr));
+        const double bits = std::min(q_bits, t_bits);
+        const auto p = power.modulator(full_scale, false);
+        return std::vector<std::string>{
+            analysis::fmt(osr, 0), analysis::fmt_eng(fclk, "Hz", 2),
+            analysis::fmt(q_bits, 1), analysis::fmt(t_bits, 1),
+            analysis::fmt(bits, 1), analysis::fmt(p.total_mw, 1)};
+      },
+      /*grain=*/1);
+  for (const auto& row : rows) t.add_row(row);
   t.print(std::cout);
   std::cout
       << "  Above OSR ~32 the SI thermal floor, not quantization, limits\n"

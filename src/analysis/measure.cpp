@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "runtime/parallel.hpp"
 
 namespace si::analysis {
 
@@ -54,6 +55,45 @@ SweepResult amplitude_sweep(
     if (p.sndr_db > r.peak_sndr_db) {
       r.peak_sndr_db = p.sndr_db;
       r.peak_sndr_level_db = level;
+    }
+  }
+  r.dynamic_range_db = dsp::dynamic_range_db(levels_db, sndr);
+  r.dynamic_range_bits = (r.dynamic_range_db - 1.76) / 6.02;
+  return r;
+}
+
+SweepResult amplitude_sweep_parallel(
+    const std::function<StreamProcessor(std::size_t index, double amplitude)>&
+        make_dut,
+    const std::vector<double>& levels_db, double full_scale_amps,
+    const ToneTestConfig& cfg) {
+  // Measure every level concurrently (one tone test per sweep point is
+  // the embarrassingly parallel unit), then assemble the dynamic-range
+  // extraction serially in level order.
+  const auto points = runtime::parallel_map_indexed(
+      levels_db.size(),
+      [&](std::size_t k) {
+        const double amp =
+            full_scale_amps * dsp::amplitude_ratio_from_db(levels_db[k]);
+        const ToneTestResult t = run_tone_test(make_dut(k, amp), amp, cfg);
+        SweepPoint p;
+        p.level_db = levels_db[k];
+        p.snr_db = t.metrics.snr_db;
+        p.thd_db = t.metrics.thd_db;
+        p.sndr_db = t.metrics.sndr_db;
+        return p;
+      },
+      /*grain=*/1);
+
+  SweepResult r;
+  r.points = points;
+  std::vector<double> sndr;
+  sndr.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    sndr.push_back(p.sndr_db);
+    if (p.sndr_db > r.peak_sndr_db) {
+      r.peak_sndr_db = p.sndr_db;
+      r.peak_sndr_level_db = p.level_db;
     }
   }
   r.dynamic_range_db = dsp::dynamic_range_db(levels_db, sndr);

@@ -68,6 +68,18 @@ SweepResult amplitude_sweep(
     const std::vector<double>& levels_db, double full_scale_amps,
     const ToneTestConfig& cfg);
 
+/// Parallel sweep over the si::runtime pool: levels are measured
+/// concurrently via parallel_map.  `make_dut` receives the level index
+/// alongside the amplitude so per-level seeds can be derived from the
+/// index — a pure function of the sweep position, never of scheduling
+/// order — keeping the result identical to the serial sweep for any
+/// thread count.
+SweepResult amplitude_sweep_parallel(
+    const std::function<StreamProcessor(std::size_t index, double amplitude)>&
+        make_dut,
+    const std::vector<double>& levels_db, double full_scale_amps,
+    const ToneTestConfig& cfg);
+
 /// Convenience: evenly spaced levels [lo_db, hi_db] inclusive.
 std::vector<double> level_grid(double lo_db, double hi_db, double step_db);
 

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+#include "runtime/result_cache.hpp"
+#include "runtime/rng_stream.hpp"
+
 namespace si::analysis {
 
 double McStatistics::percentile(double p) const {
@@ -19,25 +23,20 @@ double McStatistics::percentile(double p) const {
 }
 
 double McStatistics::yield_above(double threshold) const {
-  if (samples.empty()) return 0.0;
+  if (samples.empty())
+    throw std::logic_error("McStatistics: no samples");
   const auto it =
       std::lower_bound(samples.begin(), samples.end(), threshold);
   return static_cast<double>(samples.end() - it) /
          static_cast<double>(samples.size());
 }
 
-McStatistics monte_carlo(int runs,
-                         const std::function<double(std::uint64_t)>& trial,
-                         std::uint64_t seed0) {
-  if (runs < 1) throw std::invalid_argument("monte_carlo: runs >= 1");
+namespace {
+
+// Sorts in place and fills the summary fields.
+McStatistics finalize(std::vector<double> samples) {
   McStatistics st;
-  st.samples.reserve(static_cast<std::size_t>(runs));
-  for (int k = 0; k < runs; ++k) {
-    // Distinct, well-spread seeds.
-    const std::uint64_t seed =
-        seed0 * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(k) * 0xD1B54A32D192ED03ULL + 1;
-    st.samples.push_back(trial(seed));
-  }
+  st.samples = std::move(samples);
   std::sort(st.samples.begin(), st.samples.end());
   st.min = st.samples.front();
   st.max = st.samples.back();
@@ -52,6 +51,48 @@ McStatistics monte_carlo(int runs,
                                                   (n - 1.0)))
                    : 0.0;
   return st;
+}
+
+std::vector<double> run_trials(
+    int runs, const std::function<double(std::uint64_t)>& trial,
+    const McOptions& opts) {
+  std::vector<double> samples(static_cast<std::size_t>(runs));
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k)
+      samples[k] = trial(runtime::trial_seed(opts.seed0, k));
+  };
+  if (opts.parallel) {
+    runtime::parallel_for(samples.size(), body, opts.grain);
+  } else {
+    body(0, samples.size());
+  }
+  return samples;
+}
+
+}  // namespace
+
+McStatistics monte_carlo(int runs,
+                         const std::function<double(std::uint64_t)>& trial,
+                         std::uint64_t seed0) {
+  McOptions opts;
+  opts.seed0 = seed0;
+  return monte_carlo(runs, trial, opts);
+}
+
+McStatistics monte_carlo(int runs,
+                         const std::function<double(std::uint64_t)>& trial,
+                         const McOptions& opts) {
+  if (runs < 1) throw std::invalid_argument("monte_carlo: runs >= 1");
+  if (opts.cache_key != 0) {
+    const std::uint64_t key = runtime::Fnv1a()
+                                  .u64(opts.cache_key)
+                                  .u64(opts.seed0)
+                                  .u64(static_cast<std::uint64_t>(runs))
+                                  .digest();
+    return finalize(runtime::series_cache().get_or_compute(
+        key, [&] { return run_trials(runs, trial, opts); }));
+  }
+  return finalize(run_trials(runs, trial, opts));
 }
 
 }  // namespace si::analysis

@@ -1,6 +1,11 @@
 // Monte-Carlo analysis over mismatch / noise seeds: the standard way an
 // analog team turns the library's per-instance models into yield
 // numbers (what fraction of manufactured modulators make 10 bits?).
+//
+// Trials execute on the si::runtime work-stealing pool.  Seeding is a
+// pure function of (seed0, trial index) — si::runtime::trial_seed — so
+// a run is bit-identical to the serial reference for any thread count
+// and any scheduling order.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,10 @@
 namespace si::analysis {
 
 /// Summary statistics over Monte-Carlo trials.
+///
+/// Contract: `percentile` and `yield_above` both require at least one
+/// sample and throw std::logic_error on an empty statistics object (an
+/// empty yield is a meaningless 0/0, not 0.0).
 struct McStatistics {
   std::vector<double> samples;  ///< sorted ascending
   double mean = 0.0;
@@ -18,12 +27,28 @@ struct McStatistics {
   double max = 0.0;
 
   /// p in [0, 1]: linear-interpolated percentile.
+  /// Throws std::logic_error when no samples were collected.
   double percentile(double p) const;
 
   /// Fraction of trials with metric >= threshold (a yield).
+  /// Throws std::logic_error when no samples were collected.
   double yield_above(double threshold) const;
 
   std::size_t count() const { return samples.size(); }
+};
+
+/// Execution options for monte_carlo().
+struct McOptions {
+  std::uint64_t seed0 = 1;   ///< root seed; trial k runs at trial_seed(seed0, k)
+  std::size_t grain = 0;     ///< parallel_for chunk size; 0 = auto
+  bool parallel = true;      ///< false forces the serial reference loop
+
+  /// Nonzero enables memoization of the whole run in the shared
+  /// si::runtime series cache: the sorted sample vector is stored under
+  /// FNV-1a(cache_key, seed0, runs), so a repeated invocation with the
+  /// same workload key skips every trial.  The caller owns key hygiene:
+  /// the key must identify the trial functor and all its parameters.
+  std::uint64_t cache_key = 0;
 };
 
 /// Runs `trial(seed)` for `runs` distinct seeds derived from `seed0`
@@ -31,5 +56,10 @@ struct McStatistics {
 McStatistics monte_carlo(int runs,
                          const std::function<double(std::uint64_t)>& trial,
                          std::uint64_t seed0 = 1);
+
+/// Full-control variant (parallelism, grain, caching).
+McStatistics monte_carlo(int runs,
+                         const std::function<double(std::uint64_t)>& trial,
+                         const McOptions& opts);
 
 }  // namespace si::analysis

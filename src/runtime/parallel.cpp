@@ -1,0 +1,96 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace si::runtime {
+
+namespace {
+
+unsigned env_or_hardware_threads() {
+  if (const char* env = std::getenv("SI_RUNTIME_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+struct PoolState {
+  std::mutex mu;
+  unsigned override_threads = 0;  // 0 = env/hardware default
+  std::unique_ptr<ThreadPool> pool;
+};
+
+PoolState& state() {
+  static PoolState s;
+  return s;
+}
+
+unsigned resolve_threads(PoolState& s) {
+  return s.override_threads ? s.override_threads : env_or_hardware_threads();
+}
+
+}  // namespace
+
+unsigned thread_count() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return resolve_threads(s);
+}
+
+void set_thread_count(unsigned n) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.override_threads = n;
+  const unsigned want = resolve_threads(s);
+  if (s.pool && s.pool->size() != want) s.pool.reset();
+}
+
+ThreadPool& global_pool() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const unsigned want = resolve_threads(s);
+  if (!s.pool || s.pool->size() != want)
+    s.pool = std::make_unique<ThreadPool>(want);
+  return *s.pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  const unsigned threads = thread_count();
+  if (grain == 0)
+    grain = std::max<std::size_t>(1, n / (std::size_t{threads} * 4));
+
+  // Serial fallback: tiny range, single-thread config, or nested call
+  // from a worker (submitting to our own pool and blocking on the
+  // futures could starve the pool of runnable workers).
+  bool inline_run = threads == 1 || n <= grain;
+  ThreadPool* pool = nullptr;
+  if (!inline_run) {
+    pool = &global_pool();
+    inline_run = pool->on_worker_thread();
+  }
+  if (inline_run) {
+    body(0, n);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(n / grain + 1);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(pool->submit([&body, begin, end] { body(begin, end); }));
+  }
+  // Every chunk must finish before unwinding (bodies reference caller
+  // state), so wait for all first, then surface the first exception.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace si::runtime

@@ -1,0 +1,70 @@
+// parallel_for / parallel_map batching API over the shared work-stealing
+// pool.  Thread count resolves, in priority order: set_thread_count()
+// override > SI_RUNTIME_THREADS env var > hardware_concurrency.  A
+// count of 1 takes the serial fallback path (no pool, no threads), and
+// nested parallel_for calls from inside a pool worker run inline, so
+// composed parallel workloads cannot deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace si::runtime {
+
+/// Effective worker count for the next parallel region.
+unsigned thread_count();
+
+/// Overrides the thread count (recreating the shared pool if it is
+/// already running at a different width); n == 0 resets to the
+/// SI_RUNTIME_THREADS / hardware default.  Not safe to call while a
+/// parallel region is in flight on another thread.
+void set_thread_count(unsigned n);
+
+/// The process-wide pool, created on first use at thread_count() width.
+ThreadPool& global_pool();
+
+/// Runs body(begin, end) over disjoint chunks covering [0, n).  `grain`
+/// is the minimum chunk size (0 = auto: ~4 chunks per worker).  Blocks
+/// until every chunk finished; the first chunk exception is rethrown.
+/// Serial fallback (body(0, n) inline) when n <= grain, thread_count()
+/// is 1, or the caller is itself a pool worker.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 0);
+
+/// Elementwise map preserving order: out[i] = fn(items[i]).  The result
+/// type must be default-constructible (slots are pre-allocated so
+/// writes from different chunks never contend).
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F fn, std::size_t grain = 0)
+    -> std::vector<decltype(fn(std::declval<const T&>()))> {
+  using R = decltype(fn(std::declval<const T&>()));
+  std::vector<R> out(items.size());
+  parallel_for(
+      items.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(items[i]);
+      },
+      grain);
+  return out;
+}
+
+/// Index-space map: out[i] = fn(i) for i in [0, n).
+template <typename F>
+auto parallel_map_indexed(std::size_t n, F fn, std::size_t grain = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      grain);
+  return out;
+}
+
+}  // namespace si::runtime

@@ -1,0 +1,130 @@
+// Content-addressed result caching: repeated sweep points and repeated
+// bench invocations skip recomputation.  Keys are 64-bit FNV-1a digests
+// of the task parameters (build them with Fnv1a so every input that
+// changes the result is folded into the key); values live in a
+// thread-safe LRU of configurable capacity with hit/miss/eviction
+// counters for observability.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace si::runtime {
+
+/// Incremental 64-bit FNV-1a hasher for composing cache keys.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001B3ULL;
+    }
+    return *this;
+  }
+  Fnv1a& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+  Fnv1a& f64(double v) {  // hash the bit pattern, not the rounded value
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  Fnv1a& str(std::string_view s) { return bytes(s.data(), s.size()); }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe LRU keyed by a 64-bit content digest.
+template <typename V>
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity = 256)
+      : capacity_(capacity ? capacity : 1) {}
+
+  std::optional<V> lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+    ++stats_.hits;
+    return it->second->second;
+  }
+
+  void store(std::uint64_t key, V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  /// lookup-or-compute.  `compute` runs outside the lock, so two
+  /// threads racing on the same cold key may both compute (both store
+  /// the same content-addressed value — wasted work, never wrong).
+  template <typename F>
+  V get_or_compute(std::uint64_t key, F compute) {
+    if (auto hit = lookup(key)) return std::move(*hit);
+    V value = compute();
+    store(key, value);
+    return value;
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    stats_ = CacheStats{};
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<std::uint64_t, V>> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t,
+                     typename std::list<std::pair<std::uint64_t, V>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+/// Shared process-wide caches for the two common result shapes.
+ResultCache<double>& scalar_cache();
+ResultCache<std::vector<double>>& series_cache();
+
+}  // namespace si::runtime

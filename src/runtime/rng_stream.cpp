@@ -1,0 +1,44 @@
+#include "runtime/rng_stream.hpp"
+
+#include <cmath>
+
+namespace si::runtime {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t trial_seed(std::uint64_t seed0, std::uint64_t k) {
+  // Weyl sequence: matches the historical serial monte_carlo seeding
+  // exactly, so parallelizing preserved every published number.
+  return seed0 * 0x9E3779B97F4A7C15ULL + k * 0xD1B54A32D192ED03ULL + 1;
+}
+
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index) {
+  std::uint64_t s = root;
+  std::uint64_t mixed = splitmix64_next(s) ^ index;
+  return splitmix64_next(mixed);
+}
+
+double RngStream::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller on two uniforms; u1 kept away from 0.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace si::runtime

@@ -1,0 +1,64 @@
+// Deterministic RNG-stream splitting for parallel Monte-Carlo: every
+// trial k of a run rooted at seed0 gets a seed that is a pure function
+// of (seed0, k), so a parallel run produces bit-identical results to
+// the serial run regardless of thread count or scheduling order.
+// Generator and mixer are splitmix64 (Steele/Lea/Flood 2014) — the
+// standard seed-expansion function, with equidistributed 2^64 period
+// per stream.
+#pragma once
+
+#include <cstdint>
+
+namespace si::runtime {
+
+/// One splitmix64 step: advances `state` and returns the next output.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// The seed handed to trial `k` of a Monte-Carlo run rooted at `seed0`.
+/// This is the library-wide contract: si::analysis::monte_carlo uses
+/// exactly this formula on both its serial and parallel paths (Weyl
+/// sequence over k — distinct and well-spread for every k).
+std::uint64_t trial_seed(std::uint64_t seed0, std::uint64_t k);
+
+/// Decorrelated sub-stream seed: two splitmix64 mixes over (root,
+/// index), for new code that wants stronger scrambling than the Weyl
+/// walk of trial_seed.
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index);
+
+/// A self-contained splitmix64 generator over one stream.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return splitmix64_next(state_); }
+
+  /// Uniform in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (second deviate cached).
+  double normal();
+
+ private:
+  std::uint64_t state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Hands out independent RngStreams by index under a single root seed.
+class StreamSplitter {
+ public:
+  explicit StreamSplitter(std::uint64_t root) : root_(root) {}
+  std::uint64_t seed_of(std::uint64_t index) const {
+    return stream_seed(root_, index);
+  }
+  RngStream stream(std::uint64_t index) const {
+    return RngStream(seed_of(index));
+  }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace si::runtime

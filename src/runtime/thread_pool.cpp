@@ -1,0 +1,98 @@
+#include "runtime/thread_pool.hpp"
+
+namespace si::runtime {
+
+namespace {
+// Identifies the pool (if any) owning the current thread, plus the
+// worker's own queue index for LIFO pushes of nested submissions.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_worker_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads < 1) threads = 1;
+  n_threads_ = threads;
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_pool == this; }
+
+void ThreadPool::push(Task t) {
+  // A worker submitting more work keeps it local (back = LIFO, hot in
+  // cache); external callers spread submissions round-robin.
+  const unsigned index =
+      on_worker_thread()
+          ? tls_worker_index
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % size();
+  {
+    std::lock_guard<std::mutex> qlock(queues_[index]->mu);
+    queues_[index]->tasks.push_back(std::move(t));
+  }
+  {
+    // Incrementing under mu_ pairs with the cv_ predicate so a sleeping
+    // worker cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_or_steal(unsigned self, Task& out) {
+  {  // Own queue, newest first.
+    auto& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim.
+  for (unsigned k = 1; k < size(); ++k) {
+    auto& q = *queues_[(self + k) % size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    Task task;
+    if (try_pop_or_steal(index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    // On shutdown keep draining until every queue is empty.
+    if (stop_ && queued_.load(std::memory_order_relaxed) == 0) break;
+  }
+  tls_pool = nullptr;
+}
+
+}  // namespace si::runtime

@@ -1,0 +1,100 @@
+// Work-stealing thread pool: the execution substrate for the parallel
+// Monte-Carlo / sweep workloads in src/analysis and bench/.  Each worker
+// owns a deque; owners push and pop at the back (LIFO keeps caches
+// warm), idle workers steal from the front of a victim's deque (FIFO
+// takes the oldest, largest-granularity work).  External submissions
+// are distributed round-robin.  Results and exceptions travel through
+// std::future.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace si::runtime {
+
+/// Move-only type-erased callable (std::function requires copyability,
+/// which std::packaged_task does not have).
+class Task {
+ public:
+  Task() = default;
+  template <typename F>
+  Task(F f) : impl_(std::make_unique<Model<F>>(std::move(f))) {}
+
+  void operator()() { impl_->run(); }
+  explicit operator bool() const { return static_cast<bool>(impl_); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void run() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void run() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Graceful shutdown: drains every queued task, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Not workers_.size(): workers start (and call size() while
+  // stealing) before the constructor finishes populating workers_.
+  unsigned size() const { return n_threads_; }
+
+  /// True when the calling thread is one of this pool's workers.  Used
+  /// by parallel_for to run nested parallelism inline instead of
+  /// deadlocking on its own pool.
+  bool on_worker_thread() const;
+
+  /// Queues `f` for execution; the future carries its result or
+  /// exception.
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> pt(std::move(f));
+    std::future<R> fut = pt.get_future();
+    push(Task([pt = std::move(pt)]() mutable { pt(); }));
+    return fut;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void push(Task t);
+  bool try_pop_or_steal(unsigned self, Task& out);
+  void worker_loop(unsigned index);
+
+  unsigned n_threads_ = 0;  // fixed before any worker spawns
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;               // guards stop_ and pairs with cv_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<long> queued_{0};      // tasks pushed but not yet popped
+  std::atomic<unsigned> next_queue_{0};
+};
+
+}  // namespace si::runtime

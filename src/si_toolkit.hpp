@@ -7,6 +7,8 @@
 //   si::cells    — SI memory cells, CMFF, delay line, filters, models
 //   si::dsm      — delta-sigma modulators, decimators, SiAdc
 //   si::analysis — measurement pipelines, Monte-Carlo, reporting
+//   si::runtime  — work-stealing pool, parallel_for/map, RNG streams,
+//                  content-addressed result cache
 //
 // Prefer the individual headers in translation units that only need a
 // slice; this header is for quick experiments and examples.
@@ -30,6 +32,10 @@
 #include "dsp/window.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/result_cache.hpp"
+#include "runtime/rng_stream.hpp"
+#include "runtime/thread_pool.hpp"
 #include "si/blocks.hpp"
 #include "si/common_mode.hpp"
 #include "si/delay_line.hpp"

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "analysis/monte_carlo.hpp"
 #include "dsp/signal.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/result_cache.hpp"
 #include "si/common_mode.hpp"
 
 namespace {
 
+using si::analysis::McOptions;
 using si::analysis::monte_carlo;
 
 TEST(MonteCarlo, GaussianTrialStatistics) {
@@ -45,6 +49,81 @@ TEST(MonteCarlo, PercentileEdges) {
   EXPECT_DOUBLE_EQ(st.percentile(1.0), st.max);
   EXPECT_THROW(si::analysis::McStatistics{}.percentile(0.5),
                std::logic_error);
+}
+
+TEST(MonteCarlo, EmptyStatisticsThrowSymmetrically) {
+  // Contract: both accessors reject an empty statistics object —
+  // yield_above used to return a silent (and wrong) 0.0.
+  const si::analysis::McStatistics empty;
+  EXPECT_THROW(empty.percentile(0.5), std::logic_error);
+  EXPECT_THROW(empty.yield_above(0.0), std::logic_error);
+}
+
+// A trial expensive and seed-sensitive enough that any seeding or
+// ordering bug in the parallel path shows up in the sample vector.
+double nontrivial_trial(std::uint64_t seed) {
+  si::dsp::Xoshiro256 rng(seed);
+  double acc = 0.0;
+  for (int k = 0; k < 500; ++k) acc += rng.normal() * std::sin(0.01 * k);
+  return acc;
+}
+
+TEST(MonteCarlo, ParallelBitIdenticalToSerialAcrossThreadCounts) {
+  const int runs = 257;  // awkward size: not a multiple of any grain
+  McOptions serial_opts;
+  serial_opts.seed0 = 99;
+  serial_opts.parallel = false;
+  const auto serial = monte_carlo(runs, nontrivial_trial, serial_opts);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    si::runtime::set_thread_count(threads);
+    McOptions opts;
+    opts.seed0 = 99;
+    const auto par = monte_carlo(runs, nontrivial_trial, opts);
+    EXPECT_EQ(serial.samples, par.samples)
+        << "samples diverged at " << threads << " thread(s)";
+    EXPECT_DOUBLE_EQ(serial.mean, par.mean);
+    EXPECT_DOUBLE_EQ(serial.sigma, par.sigma);
+  }
+  si::runtime::set_thread_count(0);
+}
+
+TEST(MonteCarlo, ExplicitGrainStillBitIdentical) {
+  si::runtime::set_thread_count(4);
+  McOptions reference;
+  reference.seed0 = 5;
+  reference.parallel = false;
+  const auto serial = monte_carlo(100, nontrivial_trial, reference);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    McOptions opts;
+    opts.seed0 = 5;
+    opts.grain = grain;
+    EXPECT_EQ(serial.samples, monte_carlo(100, nontrivial_trial, opts).samples);
+  }
+  si::runtime::set_thread_count(0);
+}
+
+TEST(MonteCarlo, CachedRunSkipsTrialsAndMatches) {
+  si::runtime::series_cache().clear();
+  std::atomic<int> calls{0};
+  auto trial = [&calls](std::uint64_t seed) {
+    calls.fetch_add(1);
+    return static_cast<double>(seed % 1000);
+  };
+  McOptions opts;
+  opts.seed0 = 3;
+  opts.cache_key = si::runtime::Fnv1a().str("test.cached_run").digest();
+  const auto first = monte_carlo(40, trial, opts);
+  const int calls_after_first = calls.load();
+  EXPECT_EQ(calls_after_first, 40);
+  const auto second = monte_carlo(40, trial, opts);
+  EXPECT_EQ(calls.load(), calls_after_first);  // served from cache
+  EXPECT_EQ(first.samples, second.samples);
+  // A different root seed is a different content address.
+  opts.seed0 = 4;
+  const auto third = monte_carlo(40, trial, opts);
+  EXPECT_EQ(calls.load(), calls_after_first + 40);
+  EXPECT_NE(first.samples, third.samples);
 }
 
 TEST(MonteCarlo, RejectsZeroRuns) {
