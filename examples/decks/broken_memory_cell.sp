@@ -1,0 +1,28 @@
+* Deliberately broken class-AB SI memory cell: the supply sits below the
+* Eq. (1)-(2) minimum, one MOSFET gate floats, and two nodes form an
+* undriven island.  erc_lint must flag all three and exit nonzero.
+.model nmem NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmem PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+
+* Supply: 1.2 V < Vt_n + Vt_p + Vov = 0.8 + 0.8 + 0.1  ->  si.supply-min
+Vdd vdd 0 DC 1.2
+
+* The complementary memory pair, gates sampled from the drain.
+MN  d gn 0   nmem W=10u L=2u
+MP  d gp vdd pmem W=25u L=2u
+SN  gn d PULSE(0 3.3 0 10n 10n 480n 1u) 1k 1g
+SP  gp d PULSE(0 3.3 0 10n 10n 480n 1u) 1k 1g
+Iin 0 d DC 8u
+
+* A stray transistor whose gate node drives nothing and is driven by
+* nothing  ->  spice.floating-gate
+Mfloat d nowhere 0 nmem W=10u L=2u
+
+* Two resistors between two nodes no element ties to ground
+*  ->  spice.node-island
+R1 isla islb 10k
+R2 isla islb 22k
+
+.op
+.probe v(d)
+.end

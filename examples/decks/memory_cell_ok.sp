@@ -1,0 +1,18 @@
+* Clean class-AB SI memory cell at a 3.3 V supply — the paper's
+* operating point.  erc_lint exits 0 on this deck.
+.model nmem NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmem PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+
+Vdd vdd 0 DC 3.3
+
+* Complementary memory pair; W_p/W_n compensates KP_n/KP_p so the pair
+* betas match.
+MN  d gn 0   nmem W=10u L=2u
+MP  d gp vdd pmem W=25u L=2u
+SN  gn d PULSE(0 3.3 0 10n 10n 480n 1u) 1k 1g
+SP  gp d PULSE(0 3.3 0 10n 10n 480n 1u) 1k 1g
+Iin 0 d DC 8u
+
+.op
+.probe v(d)
+.end

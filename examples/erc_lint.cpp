@@ -1,0 +1,95 @@
+// erc_lint — standalone static checker for SPICE decks.
+//
+//   erc_lint [options] deck.sp [more.sp ...]
+//   erc_lint --json broken.sp        # machine-readable diagnostics
+//
+// Options:
+//   --json                 emit one JSON report per deck instead of text
+//   --min-severity=LEVEL   note | warning | error (default: note)
+//   --suppress=RULE        drop a rule id (repeatable), e.g.
+//                          --suppress=spice.zero-source
+//   --no-si                generic SPICE rules only (skip the paper pack)
+//   --werror               exit nonzero on warnings too
+//
+// Exit status: 0 clean, 1 diagnostics at or above the failure
+// threshold, 2 usage or I/O error.  Decks may also carry
+// "* erc-disable <rule-id>..." comment cards for inline suppression.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "erc/check.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--min-severity=note|warning|error]\n"
+               "       [--suppress=RULE]... [--no-si] [--werror] deck.sp...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using si::erc::Severity;
+
+  bool json = false;
+  bool werror = false;
+  si::erc::ErcOptions opt;
+  std::vector<std::string> decks;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-si") {
+      opt.si_rules = false;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.rfind("--suppress=", 0) == 0) {
+      opt.suppress.push_back(arg.substr(11));
+    } else if (arg.rfind("--min-severity=", 0) == 0) {
+      const std::string level = arg.substr(15);
+      if (level == "note")
+        opt.min_severity = Severity::kNote;
+      else if (level == "warning")
+        opt.min_severity = Severity::kWarning;
+      else if (level == "error")
+        opt.min_severity = Severity::kError;
+      else
+        return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      decks.push_back(arg);
+    }
+  }
+  if (decks.empty()) return usage(argv[0]);
+
+  bool failed = false;
+  for (const std::string& path : decks) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "erc_lint: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const si::erc::DeckReport report = si::erc::check_deck(text.str(), opt);
+    if (json) {
+      std::cout << report.sink.json() << "\n";
+    } else {
+      std::cout << report.sink.text();
+      std::cout << path << ": " << report.sink.errors() << " error(s), "
+                << report.sink.warnings() << " warning(s), "
+                << report.sink.notes() << " note(s)\n";
+    }
+    if (report.sink.errors() > 0 || (werror && report.sink.warnings() > 0))
+      failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,91 @@
+#include "erc/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace si::erc {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticSink::report(Diagnostic d) {
+  if (d.severity < min_severity_) return;
+  if (is_suppressed(d.rule)) return;
+  counts_[static_cast<std::size_t>(d.severity)]++;
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::sort_by_line() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Line 0 (no deck location) sorts after located ones.
+                     const std::size_t la = a.line == 0 ? SIZE_MAX : a.line;
+                     const std::size_t lb = b.line == 0 ? SIZE_MAX : b.line;
+                     if (la != lb) return la < lb;
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+}
+
+std::string DiagnosticSink::text() const {
+  std::ostringstream out;
+  for (const auto& d : diags_) {
+    if (d.line > 0)
+      out << "deck:" << d.line << ": ";
+    out << severity_name(d.severity) << ": [" << d.rule << "] " << d.message;
+    if (!d.fix.empty()) out << " (fix: " << d.fix << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticSink::json() const {
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : diags_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"severity\":\"" << severity_name(d.severity) << "\""
+        << ",\"rule\":\"" << json_escape(d.rule) << "\""
+        << ",\"message\":\"" << json_escape(d.message) << "\""
+        << ",\"line\":" << d.line
+        << ",\"element\":\"" << json_escape(d.element) << "\""
+        << ",\"fix\":\"" << json_escape(d.fix) << "\"}";
+  }
+  out << "],\"notes\":" << notes() << ",\"warnings\":" << warnings()
+      << ",\"errors\":" << errors() << "}";
+  return out.str();
+}
+
+}  // namespace si::erc

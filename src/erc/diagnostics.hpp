@@ -1,0 +1,82 @@
+// Reusable diagnostics engine for the static electrical-rule checker:
+// a Diagnostic carries severity, a stable rule id, the offending element
+// and deck line, and a suggested fix; a DiagnosticSink collects them
+// with severity thresholds and per-rule suppression and renders the
+// result as human-readable text or machine-readable JSON.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace si::erc {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+/// "note" / "warning" / "error".
+const char* severity_name(Severity s);
+
+/// One finding of the rule checker.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;     ///< stable rule id, e.g. "spice.floating-gate"
+  std::string message;  ///< what is wrong, with node / element names
+  std::size_t line = 0;  ///< 1-based deck line; 0 = built programmatically
+  std::string element;  ///< offending element name ("" = circuit-level)
+  std::string fix;      ///< suggested fix ("" = none)
+};
+
+/// Collects diagnostics, filtering by severity threshold and per-rule
+/// suppression at report() time.
+class DiagnosticSink {
+ public:
+  /// Diagnostics below `s` are dropped (default: keep everything).
+  void set_min_severity(Severity s) { min_severity_ = s; }
+
+  /// Drops every future diagnostic of the given rule id.
+  void suppress(const std::string& rule_id) { suppressed_.insert(rule_id); }
+
+  bool is_suppressed(const std::string& rule_id) const {
+    return suppressed_.count(rule_id) > 0;
+  }
+
+  /// Files a diagnostic unless suppressed or below the threshold.
+  void report(Diagnostic d);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  std::size_t count(Severity s) const {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  std::size_t notes() const { return count(Severity::kNote); }
+
+  /// True when no error-severity diagnostic was recorded.
+  bool ok() const { return errors() == 0; }
+
+  /// Orders the collected diagnostics by deck line (stable; line 0 /
+  /// circuit-level findings sort last), then by severity.
+  void sort_by_line();
+
+  /// Human-readable rendering, one line per diagnostic:
+  ///   deck:7: error: [spice.floating-gate] ... (fix: ...)
+  std::string text() const;
+
+  /// Machine-readable rendering:
+  ///   {"diagnostics":[{...}],"notes":0,"warnings":1,"errors":2}
+  std::string json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> suppressed_;
+  Severity min_severity_ = Severity::kNote;
+  std::array<std::size_t, 3> counts_{};
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace si::erc

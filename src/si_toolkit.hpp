@@ -6,6 +6,7 @@
 //   si::dsp      — FFT / spectra / metrics / decimation
 //   si::cells    — SI memory cells, CMFF, delay line, filters, models
 //   si::dsm      — delta-sigma modulators, decimators, SiAdc
+//   si::erc      — static electrical-rule checks and diagnostics
 //   si::analysis — measurement pipelines, Monte-Carlo, reporting
 //   si::runtime  — work-stealing pool, parallel_for/map, RNG streams,
 //                  content-addressed result cache
@@ -43,6 +44,8 @@
 #include "si/memory_cell.hpp"
 #include "si/netlists.hpp"
 #include "si/noise_model.hpp"
+#include "erc/check.hpp"
+#include "erc/diagnostics.hpp"
 #include "si/power_area.hpp"
 #include "si/supply.hpp"
 #include "spice/ac.hpp"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/signal.hpp"
+#include "erc/check.hpp"
 #include "linalg/lu.hpp"
 
 namespace si::spice {
@@ -24,7 +25,9 @@ std::vector<double> AcResult::magnitude_db(const Circuit& c,
   return out;
 }
 
-AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs) {
+AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs,
+                     const AcOptions& opt) {
+  if (opt.erc_gate) erc::enforce(c);
   c.finalize();
   const std::size_t n = c.system_size();
   AcResult r;

@@ -23,10 +23,17 @@ struct AcResult {
   std::vector<double> magnitude_db(const Circuit& c, NodeId node) const;
 };
 
+struct AcOptions {
+  /// Run the static electrical-rule check first and throw erc::ErcError
+  /// on error-severity findings (see DcOptions::erc_gate).
+  bool erc_gate = true;
+};
+
 /// Runs an AC sweep.  Requires a prior dc_operating_point() so the
 /// elements hold their small-signal parameters.  Excitations are the
 /// sources whose `set_ac_magnitude` is nonzero.
-AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs);
+AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs,
+                     const AcOptions& opt = {});
 
 /// Logarithmically spaced frequency list, `points_per_decade` per decade
 /// from f_lo to f_hi inclusive.

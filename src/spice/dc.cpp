@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "erc/check.hpp"
 #include "linalg/lu.hpp"
 
 namespace si::spice {
@@ -63,6 +64,7 @@ int newton_solve(Circuit& c, const StampContext& ctx, linalg::Vector& x,
 }
 
 DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
+  if (opt.erc_gate) erc::enforce(c);
   c.finalize();
   StampContext ctx;
   ctx.mode = AnalysisMode::kDcOperatingPoint;

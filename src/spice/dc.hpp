@@ -26,6 +26,10 @@ struct DcOptions {
   bool gmin_stepping = true;
   double gmin_start = 1e-2;
   double gmin_final = 1e-12;
+  /// Run the static electrical-rule check before solving and throw
+  /// erc::ErcError (with the full diagnostic list) on error-severity
+  /// findings.  Set false to simulate a known-bad circuit anyway.
+  bool erc_gate = true;
 };
 
 /// Thrown when the operating point cannot be found.

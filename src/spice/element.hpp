@@ -117,6 +117,19 @@ class ComplexStamper {
   linalg::ComplexVector* b_;
 };
 
+/// One element terminal for topology inspection (ERC, connectivity
+/// analysis).  `role` is a short stable label: "p"/"m" for two-terminal
+/// elements, "d"/"g"/"s"/"b" for MOSFETs, "op"/"om" for controlled-source
+/// outputs, "cp"/"cm" for their sensing inputs.
+struct Terminal {
+  NodeId node = kGroundNode;
+  const char* role = "";
+  /// True for terminals that draw no DC current (MOS gate / bulk,
+  /// capacitor plates, controlled-source sense inputs) — a node attached
+  /// only to such terminals has no DC path.
+  bool dc_blocking = false;
+};
+
 /// A device noise generator: a current source of the given one-sided PSD
 /// [A^2/Hz] injected between two nodes.
 struct NoiseSource {
@@ -139,6 +152,11 @@ class Element {
 
   /// One-time hook before analysis: allocate branch unknowns etc.
   virtual void setup(Circuit&) {}
+
+  /// Every node this element touches, with terminal roles — the basis
+  /// of the ERC connectivity analysis.  Pure so new elements cannot
+  /// silently vanish from the topology checks.
+  virtual std::vector<Terminal> terminals() const = 0;
 
   /// Contributes the element's (possibly linearized) stamp.
   virtual void stamp(RealStamper& s, const StampContext& ctx) = 0;

@@ -56,6 +56,10 @@ Resistor::Resistor(std::string name, NodeId p, NodeId m, double ohms,
   if (ohms <= 0.0) throw std::invalid_argument("Resistor: ohms must be > 0");
 }
 
+std::vector<Terminal> Resistor::terminals() const {
+  return {{p_, "p", false}, {m_, "m", false}};
+}
+
 void Resistor::stamp(RealStamper& s, const StampContext&) {
   s.conductance(p_, m_, 1.0 / ohms_);
 }
@@ -83,6 +87,10 @@ Capacitor::Capacitor(std::string name, NodeId p, NodeId m, double farads)
     throw std::invalid_argument("Capacitor: farads must be > 0");
 }
 
+std::vector<Terminal> Capacitor::terminals() const {
+  return {{p_, "p", true}, {m_, "m", true}};
+}
+
 void Capacitor::stamp(RealStamper& s, const StampContext& ctx) {
   cap_.stamp(s, ctx, p_, m_);
 }
@@ -106,6 +114,10 @@ CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
 CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
                              double dc_amps)
     : CurrentSource(std::move(name), p, m, std::make_unique<DcWave>(dc_amps)) {}
+
+std::vector<Terminal> CurrentSource::terminals() const {
+  return {{p_, "p", false}, {m_, "m", false}};
+}
 
 void CurrentSource::stamp(RealStamper& s, const StampContext& ctx) {
   const double i = ctx.mode == AnalysisMode::kDcOperatingPoint
@@ -135,6 +147,10 @@ VoltageSource::VoltageSource(std::string name, NodeId p, NodeId m,
                              double dc_volts)
     : VoltageSource(std::move(name), p, m,
                     std::make_unique<DcWave>(dc_volts)) {}
+
+std::vector<Terminal> VoltageSource::terminals() const {
+  return {{p_, "p", false}, {m_, "m", false}};
+}
 
 void VoltageSource::setup(Circuit& c) { branch_ = c.allocate_branch(); }
 
@@ -174,6 +190,13 @@ Vccs::Vccs(std::string name, NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
       cm_(cm),
       gm_(gm) {}
 
+std::vector<Terminal> Vccs::terminals() const {
+  return {{out_p_, "op", false},
+          {out_m_, "om", false},
+          {cp_, "cp", true},
+          {cm_, "cm", true}};
+}
+
 void Vccs::stamp(RealStamper& s, const StampContext&) {
   s.transconductance(out_p_, out_m_, cp_, cm_, gm_);
 }
@@ -187,6 +210,13 @@ void Vccs::stamp_ac(ComplexStamper& s, double) const {
 Vcvs::Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,
            double k)
     : Element(std::move(name)), p_(p), m_(m), cp_(cp), cm_(cm), k_(k) {}
+
+std::vector<Terminal> Vcvs::terminals() const {
+  return {{p_, "op", false},
+          {m_, "om", false},
+          {cp_, "cp", true},
+          {cm_, "cm", true}};
+}
 
 void Vcvs::setup(Circuit& c) { branch_ = c.allocate_branch(); }
 
@@ -212,6 +242,10 @@ Cccs::Cccs(std::string name, NodeId out_p, NodeId out_m,
       sense_(&sense),
       gain_(gain) {}
 
+std::vector<Terminal> Cccs::terminals() const {
+  return {{out_p_, "op", false}, {out_m_, "om", false}};
+}
+
 void Cccs::stamp(RealStamper& s, const StampContext&) {
   // Current gain * i(sense) leaves out_p and enters out_m: the node
   // equations pick up the sense-branch unknown directly.
@@ -230,6 +264,10 @@ Ccvs::Ccvs(std::string name, NodeId p, NodeId m, const VoltageSource& sense,
            double transresistance)
     : Element(std::move(name)), p_(p), m_(m), sense_(&sense),
       k_(transresistance) {}
+
+std::vector<Terminal> Ccvs::terminals() const {
+  return {{p_, "op", false}, {m_, "om", false}};
+}
 
 void Ccvs::setup(Circuit& c) { branch_ = c.allocate_branch(); }
 
@@ -259,6 +297,10 @@ Switch::Switch(std::string name, NodeId p, NodeId m,
   if (!ctrl_) throw std::invalid_argument("Switch: null control waveform");
   if (r_on <= 0.0 || r_off <= 0.0)
     throw std::invalid_argument("Switch: resistances must be > 0");
+}
+
+std::vector<Terminal> Switch::terminals() const {
+  return {{p_, "p", false}, {m_, "m", false}};
 }
 
 bool Switch::is_on(double t) const { return ctrl_->value(t) > threshold_; }

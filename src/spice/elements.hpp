@@ -45,6 +45,7 @@ class Resistor final : public Element {
   Resistor(std::string name, NodeId p, NodeId m, double ohms,
            double temperature = kRoomTemperature);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
   void append_noise(std::vector<NoiseSource>& out) const override;
@@ -63,6 +64,7 @@ class Capacitor final : public Element {
  public:
   Capacitor(std::string name, NodeId p, NodeId m, double farads);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void accept(const SolutionView& sol, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
@@ -82,6 +84,7 @@ class CurrentSource final : public Element {
                 std::unique_ptr<Waveform> wave);
   CurrentSource(std::string name, NodeId p, NodeId m, double dc_amps);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
 
@@ -93,6 +96,10 @@ class CurrentSource final : public Element {
 
   /// Replaces the stimulus waveform.
   void set_waveform(std::unique_ptr<Waveform> wave);
+
+  /// The driving stimulus (never null).
+  const Waveform& waveform() const { return *wave_; }
+  double ac_magnitude() const { return ac_magnitude_; }
 
  private:
   NodeId p_, m_;
@@ -107,6 +114,7 @@ class VoltageSource final : public Element {
                 std::unique_ptr<Waveform> wave);
   VoltageSource(std::string name, NodeId p, NodeId m, double dc_volts);
 
+  std::vector<Terminal> terminals() const override;
   void setup(Circuit& c) override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
@@ -119,6 +127,10 @@ class VoltageSource final : public Element {
 
   /// Replaces the stimulus waveform.
   void set_waveform(std::unique_ptr<Waveform> wave);
+
+  /// The driving stimulus (never null).
+  const Waveform& waveform() const { return *wave_; }
+  double ac_magnitude() const { return ac_magnitude_; }
 
   /// Branch index carrying this source's current (valid after setup()).
   int branch() const { return branch_; }
@@ -136,6 +148,7 @@ class Vccs final : public Element {
   Vccs(std::string name, NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
        double gm);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
 
@@ -149,6 +162,7 @@ class Vcvs final : public Element {
  public:
   Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm, double k);
 
+  std::vector<Terminal> terminals() const override;
   void setup(Circuit& c) override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
@@ -167,6 +181,7 @@ class Cccs final : public Element {
   Cccs(std::string name, NodeId out_p, NodeId out_m,
        const VoltageSource& sense, double gain);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
 
@@ -182,6 +197,7 @@ class Ccvs final : public Element {
   Ccvs(std::string name, NodeId p, NodeId m, const VoltageSource& sense,
        double transresistance);
 
+  std::vector<Terminal> terminals() const override;
   void setup(Circuit& c) override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
@@ -202,11 +218,15 @@ class Switch final : public Element {
   Switch(std::string name, NodeId p, NodeId m, std::unique_ptr<Waveform> ctrl,
          double r_on = 1.0, double r_off = 1e12, double threshold = 0.5);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void accept(const SolutionView& sol, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
 
   bool is_on(double t) const;
+
+  /// The controlling clock waveform (never null).
+  const Waveform& control() const { return *ctrl_; }
 
  private:
   double conductance_at(double t, AnalysisMode mode) const;

@@ -86,6 +86,13 @@ Mosfet::Eval Mosfet::evaluate(double vd, double vg, double vs,
   return e;
 }
 
+std::vector<Terminal> Mosfet::terminals() const {
+  std::vector<Terminal> t = {
+      {d_, "d", false}, {g_, "g", true}, {s_, "s", false}};
+  if (has_bulk_) t.push_back({b_, "b", true});
+  return t;
+}
+
 void Mosfet::stamp(RealStamper& s, const StampContext& ctx) {
   const Eval e = evaluate(s.voltage(d_), s.voltage(g_), s.voltage(s_),
                           has_bulk_ ? s.voltage(b_) : s.voltage(s_));

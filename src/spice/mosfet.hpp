@@ -50,6 +50,7 @@ class Mosfet final : public Element {
   Mosfet(std::string name, MosType type, NodeId drain, NodeId gate,
          NodeId source, NodeId bulk, MosfetParams params);
 
+  std::vector<Terminal> terminals() const override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void accept(const SolutionView& sol, const StampContext& ctx) override;
   bool nonlinear() const override { return true; }
@@ -59,6 +60,13 @@ class Mosfet final : public Element {
 
   MosType type() const { return type_; }
   const MosfetParams& params() const { return params_; }
+
+  // Terminal nodes (for topology inspection).
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+  bool has_bulk() const { return has_bulk_; }
+  NodeId bulk() const { return b_; }
 
   // Operating-point values captured by the last accept().
   double id() const { return op_id_; }    ///< drain current, drain->source

@@ -57,14 +57,18 @@ double parse_value(const std::string& token) {
   } catch (const std::exception&) {
     throw std::invalid_argument("bad numeric value: " + token);
   }
+  if (pos == 0 || !std::isfinite(v))
+    throw std::invalid_argument("bad numeric value: " + token);
   const std::string suffix = t.substr(pos);
   if (suffix.empty()) return v;
   // "meg" must be matched before 'm'.
-  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  if (suffix == "meg") return v * 1e6;
   static const std::map<char, double> scale = {
       {'f', 1e-15}, {'p', 1e-12}, {'n', 1e-9}, {'u', 1e-6}, {'m', 1e-3},
       {'k', 1e3},   {'g', 1e9},   {'t', 1e12}};
-  const auto it = scale.find(suffix[0]);
+  // The suffix must be exactly one known scale letter: "10kz" used to
+  // silently parse as 10k, hiding typos.
+  const auto it = suffix.size() == 1 ? scale.find(suffix[0]) : scale.end();
   if (it == scale.end())
     throw std::invalid_argument("bad value suffix: " + token);
   return v * it->second;
@@ -159,6 +163,10 @@ std::unique_ptr<Waveform> parse_stimulus(TokenCursor& cur) {
       pts.emplace_back(t, v);
     }
     if (pts.size() < 2) throw ParseError(cur.line(), "PWL needs >= 2 points");
+    for (std::size_t k = 1; k < pts.size(); ++k)
+      if (pts[k].first <= pts[k - 1].first)
+        throw ParseError(cur.line(),
+                         "PWL time points must be strictly increasing");
     return std::make_unique<PwlWave>(std::move(pts));
   }
   // Bare number: DC level.
@@ -196,7 +204,7 @@ MosfetParams apply_model_kv(MosfetParams p,
 
 }  // namespace
 
-Circuit parse_netlist(const std::string& deck) {
+Circuit parse_netlist(const std::string& deck, ParseIndex* index) {
   // Join continuation lines ('+' prefix) and strip comments.
   std::vector<std::pair<std::size_t, std::string>> lines;
   {
@@ -238,10 +246,19 @@ Circuit parse_netlist(const std::string& deck) {
     else if (type == "pmos") def.type = MosType::kPmos;
     else throw ParseError(lineno, "model type must be NMOS or PMOS");
     def.params = apply_model_kv(def.params, parse_kv(cur), lineno);
+    if (models.count(name))
+      throw ParseError(lineno, "duplicate model '" + name + "'");
     models[name] = def;
   }
 
   Circuit c;
+  std::map<std::string, std::size_t> defined;  // element name -> line
+  // Resolves a node name, recording its first deck line in the index.
+  const auto node_at = [&](const std::string& n,
+                           std::size_t lineno) -> NodeId {
+    if (index) index->node_line.emplace(n, lineno);
+    return c.node(n);
+  };
   for (const auto& [lineno, text] : lines) {
     auto toks = tokenize(text);
     if (toks.empty()) continue;
@@ -252,25 +269,35 @@ Circuit parse_netlist(const std::string& deck) {
 
     TokenCursor cur(std::move(toks), lineno);
     const std::string name = cur.next();
+    const auto [prev, fresh] = defined.emplace(name, lineno);
+    if (!fresh)
+      throw ParseError(lineno, "duplicate element '" + name +
+                                   "' (first defined at line " +
+                                   std::to_string(prev->second) + ")");
+    if (index) index->element_line[name] = lineno;
     const char kind = name[0];
-    switch (kind) {
+    // Element constructors validate their values (R > 0, C > 0, MOS
+    // geometry); surface those as parse errors with the deck line
+    // instead of letting std::invalid_argument escape uncontextualized.
+    try {
+      switch (kind) {
       case 'r': {
-        const NodeId a = c.node(cur.next());
-        const NodeId b = c.node(cur.next());
+        const NodeId a = node_at(cur.next(), lineno);
+        const NodeId b = node_at(cur.next(), lineno);
         c.add<Resistor>(name, a, b, cur.next_value());
         expect_done(cur);
         break;
       }
       case 'c': {
-        const NodeId a = c.node(cur.next());
-        const NodeId b = c.node(cur.next());
+        const NodeId a = node_at(cur.next(), lineno);
+        const NodeId b = node_at(cur.next(), lineno);
         c.add<Capacitor>(name, a, b, cur.next_value());
         expect_done(cur);
         break;
       }
       case 'v': {
-        const NodeId a = c.node(cur.next());
-        const NodeId b = c.node(cur.next());
+        const NodeId a = node_at(cur.next(), lineno);
+        const NodeId b = node_at(cur.next(), lineno);
         auto& src = c.add<VoltageSource>(name, a, b, parse_stimulus(cur));
         if (!cur.done() && cur.peek() == "ac") {
           cur.next();
@@ -280,8 +307,8 @@ Circuit parse_netlist(const std::string& deck) {
         break;
       }
       case 'i': {
-        const NodeId a = c.node(cur.next());
-        const NodeId b = c.node(cur.next());
+        const NodeId a = node_at(cur.next(), lineno);
+        const NodeId b = node_at(cur.next(), lineno);
         auto& src = c.add<CurrentSource>(name, a, b, parse_stimulus(cur));
         if (!cur.done() && cur.peek() == "ac") {
           cur.next();
@@ -291,19 +318,19 @@ Circuit parse_netlist(const std::string& deck) {
         break;
       }
       case 'g': {
-        const NodeId op = c.node(cur.next());
-        const NodeId om = c.node(cur.next());
-        const NodeId cp = c.node(cur.next());
-        const NodeId cm = c.node(cur.next());
+        const NodeId op = node_at(cur.next(), lineno);
+        const NodeId om = node_at(cur.next(), lineno);
+        const NodeId cp = node_at(cur.next(), lineno);
+        const NodeId cm = node_at(cur.next(), lineno);
         c.add<Vccs>(name, op, om, cp, cm, cur.next_value());
         expect_done(cur);
         break;
       }
       case 'e': {
-        const NodeId op = c.node(cur.next());
-        const NodeId om = c.node(cur.next());
-        const NodeId cp = c.node(cur.next());
-        const NodeId cm = c.node(cur.next());
+        const NodeId op = node_at(cur.next(), lineno);
+        const NodeId om = node_at(cur.next(), lineno);
+        const NodeId cp = node_at(cur.next(), lineno);
+        const NodeId cm = node_at(cur.next(), lineno);
         c.add<Vcvs>(name, op, om, cp, cm, cur.next_value());
         expect_done(cur);
         break;
@@ -312,8 +339,8 @@ Circuit parse_netlist(const std::string& deck) {
       case 'h': {
         // F/H out+ out- Vsense gain — the sensing source must appear
         // earlier in the deck.
-        const NodeId op = c.node(cur.next());
-        const NodeId om = c.node(cur.next());
+        const NodeId op = node_at(cur.next(), lineno);
+        const NodeId om = node_at(cur.next(), lineno);
         const std::string sense_name = cur.next();
         const auto* sense =
             dynamic_cast<const VoltageSource*>(c.find(sense_name));
@@ -330,8 +357,8 @@ Circuit parse_netlist(const std::string& deck) {
         break;
       }
       case 's': {
-        const NodeId a = c.node(cur.next());
-        const NodeId b = c.node(cur.next());
+        const NodeId a = node_at(cur.next(), lineno);
+        const NodeId b = node_at(cur.next(), lineno);
         auto wave = parse_stimulus(cur);
         double ron = 1.0, roff = 1e12, vth = 0.5;
         if (!cur.done()) ron = cur.next_value();
@@ -344,9 +371,9 @@ Circuit parse_netlist(const std::string& deck) {
       case 'm': {
         // M d g s [b] model [W=..] [L=..] — the 4th token is a bulk
         // node iff a 5th non-kv token follows.
-        const NodeId d = c.node(cur.next());
-        const NodeId g = c.node(cur.next());
-        const NodeId s = c.node(cur.next());
+        const NodeId d = node_at(cur.next(), lineno);
+        const NodeId g = node_at(cur.next(), lineno);
+        const NodeId s = node_at(cur.next(), lineno);
         std::string t4 = cur.next();
         bool has_bulk = false;
         NodeId bnode = kGroundNode;
@@ -357,7 +384,7 @@ Circuit parse_netlist(const std::string& deck) {
           const std::string t5 = cur.peek();
           if (models.count(t5)) {
             has_bulk = true;
-            bnode = c.node(t4);
+            bnode = node_at(t4, lineno);
             model_name = cur.next();
           }
         }
@@ -366,6 +393,9 @@ Circuit parse_netlist(const std::string& deck) {
           throw ParseError(lineno, "unknown model '" + model_name + "'");
         MosfetParams p =
             apply_model_kv(it->second.params, parse_kv(cur), lineno);
+        if (p.w <= 0.0 || p.l <= 0.0 || p.kp <= 0.0)
+          throw ParseError(lineno, "MOSFET '" + name +
+                                       "' needs W, L and KP > 0");
         if (has_bulk)
           c.add<Mosfet>(name, it->second.type, d, g, s, bnode, p);
         else
@@ -374,6 +404,9 @@ Circuit parse_netlist(const std::string& deck) {
       }
       default:
         throw ParseError(lineno, "unknown element card '" + name + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(lineno, e.what());
     }
   }
   return c;

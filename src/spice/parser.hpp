@@ -27,8 +27,10 @@
 // Engineering suffixes: f p n u m k meg g t (e.g. 10k, 1p, 2.45meg).
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "spice/circuit.hpp"
 
@@ -47,9 +49,30 @@ class ParseError : public std::runtime_error {
   std::size_t line_;
 };
 
+/// Maps parsed entities back to 1-based deck lines so downstream
+/// diagnostics (the ERC) can point at the offending card.  Keys are the
+/// lower-cased names the parser stores.
+struct ParseIndex {
+  std::unordered_map<std::string, std::size_t> element_line;
+  /// First line each node name appears on.
+  std::unordered_map<std::string, std::size_t> node_line;
+
+  /// Line for an element (0 when unknown).
+  std::size_t element(const std::string& name) const {
+    const auto it = element_line.find(name);
+    return it == element_line.end() ? 0 : it->second;
+  }
+  /// Line a node was first referenced on (0 when unknown).
+  std::size_t node(const std::string& name) const {
+    const auto it = node_line.find(name);
+    return it == node_line.end() ? 0 : it->second;
+  }
+};
+
 /// Parses a deck into a fresh circuit.  Throws ParseError on malformed
-/// input.
-Circuit parse_netlist(const std::string& deck);
+/// input.  `index`, if non-null, receives deck-line attribution for
+/// elements and nodes.
+Circuit parse_netlist(const std::string& deck, ParseIndex* index = nullptr);
 
 /// Parses a single engineering-notation value ("10k", "0.15p", "2.45meg").
 /// Throws std::invalid_argument on garbage.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "erc/check.hpp"
 #include "spice/elements.hpp"
 
 namespace si::spice {
@@ -38,6 +39,7 @@ void Transient::set_initial_voltage(const std::string& node_name,
 TransientResult Transient::run(
     const std::function<void(double, const SolutionView&)>& on_step) {
   Circuit& c = *circuit_;
+  if (opt_.erc_gate) erc::enforce(c);
   c.finalize();
 
   // Resolve probes up front.
@@ -55,6 +57,7 @@ TransientResult Transient::run(
   if (opt_.start_from_dc) {
     DcOptions dco;
     dco.newton = opt_.newton;
+    dco.erc_gate = false;  // already checked (or opted out) above
     DcResult op = dc_operating_point(c, dco);
     x = std::move(op.x);
   } else {

@@ -18,6 +18,9 @@ struct TransientOptions {
   Integrator integrator = Integrator::kTrapezoidal;
   NewtonOptions newton;
   bool start_from_dc = true;  ///< solve the t=0 operating point first
+  /// Run the static electrical-rule check before the first step and
+  /// throw erc::ErcError on error-severity findings (see DcOptions).
+  bool erc_gate = true;
 
   /// Adaptive stepping: each step is solved with both trapezoidal and
   /// backward-Euler companions; their difference estimates the local

@@ -17,6 +17,9 @@ class Waveform {
   virtual double value(double t) const = 0;
   /// Value used during DC operating-point analysis (usually value(0)).
   virtual double dc_value() const { return value(0.0); }
+  /// Repetition period [s]; 0 for aperiodic waveforms.  Lets the ERC
+  /// clock-phase rules recover the sampling period from switch controls.
+  virtual double period() const { return 0.0; }
 };
 
 /// Constant value.
@@ -36,6 +39,7 @@ class SineWave final : public Waveform {
            double phase_rad = 0.0);
   double value(double t) const override;
   double dc_value() const override { return offset_; }
+  double period() const override { return freq_ > 0.0 ? 1.0 / freq_ : 0.0; }
 
  private:
   double offset_, amplitude_, freq_, delay_, phase_;
@@ -48,6 +52,7 @@ class PulseWave final : public Waveform {
             double width, double period);
   double value(double t) const override;
   double dc_value() const override { return v1_; }
+  double period() const override { return period_; }
 
  private:
   double v1_, v2_, delay_, rise_, fall_, width_, period_;

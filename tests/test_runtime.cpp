@@ -271,7 +271,9 @@ TEST(ResultCache, ConcurrentAccessIsSafe) {
           const std::uint64_t key = i % 32;
           cache.store(key, static_cast<double>(key));
           const auto v = cache.lookup(key);
-          if (v) EXPECT_DOUBLE_EQ(*v, static_cast<double>(key));
+          if (v) {
+            EXPECT_DOUBLE_EQ(*v, static_cast<double>(key));
+          }
         }
       },
       /*grain=*/25);

@@ -225,4 +225,58 @@ TEST(Parser, ControlledSourceUnknownSenseThrows) {
                si::spice::ParseError);
 }
 
+TEST(Parser, RejectsTrailingGarbageInValues) {
+  // "10kz" used to silently parse as 10k, hiding typos.
+  EXPECT_THROW(parse_value("10kz"), std::invalid_argument);
+  EXPECT_THROW(parse_value("1megx"), std::invalid_argument);
+  EXPECT_THROW(parse_value("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_value("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("R1 a 0 10kz"), ParseError);
+}
+
+TEST(Parser, DuplicateElementNameThrows) {
+  try {
+    parse_netlist("R1 a 0 1k\nR1 a 0 2k\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("first defined at line 1"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, DuplicateModelNameThrows) {
+  EXPECT_THROW(
+      parse_netlist(".model m NMOS (KP=1u)\n.model m PMOS (KP=1u)\n"),
+      ParseError);
+}
+
+TEST(Parser, PwlTimesMustStrictlyIncrease) {
+  EXPECT_THROW(parse_netlist("V1 a 0 PWL(0 0 1u 1 0.5u 0)\nR1 a 0 1k\n"),
+               ParseError);
+  EXPECT_THROW(parse_netlist("V1 a 0 PWL(0 0 1u 1 1u 0)\nR1 a 0 1k\n"),
+               ParseError);
+}
+
+TEST(Parser, MosfetGeometryMustBePositive) {
+  EXPECT_THROW(parse_netlist(".model m NMOS (KP=100u VTO=0.8)\n"
+                             "M1 d g 0 m W=0 L=1u\n"),
+               ParseError);
+  EXPECT_THROW(parse_netlist(".model m NMOS (KP=0 VTO=0.8)\n"
+                             "M1 d g 0 m W=1u L=1u\n"),
+               ParseError);
+}
+
+TEST(Parser, ParseIndexRecordsDeckLines) {
+  ParseIndex idx;
+  parse_netlist("V1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n", &idx);
+  EXPECT_EQ(idx.element("v1"), 1u);
+  EXPECT_EQ(idx.element("r1"), 2u);
+  EXPECT_EQ(idx.node("in"), 1u);   // first reference wins
+  EXPECT_EQ(idx.node("out"), 2u);
+  EXPECT_EQ(idx.element("nope"), 0u);
+  EXPECT_EQ(idx.node("nope"), 0u);
+}
+
 }  // namespace
