@@ -16,7 +16,15 @@
 #include "si/filter.hpp"
 #include "si/netlists.hpp"
 #include "spice/dc.hpp"
+#include "spice/mna.hpp"
 #include "spice/transient.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -192,6 +200,196 @@ void BM_MonteCarloCached(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloCached)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Dense-vs-sparse MNA solver benchmarks on the paper's two transistor-level
+// workloads: the Table 1 delay-line chain and the Table 2 modulator core.
+// ---------------------------------------------------------------------------
+
+/// Builds and runs a Table 1 delay-line chain transient; returns the
+/// system size.  Solver selection follows SI_SOLVER / auto.
+std::size_t run_chain_transient(int n_stages, double periods) {
+  namespace nets = si::cells::netlists;
+  si::spice::Circuit c;
+  c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::DelayStageOptions opt;
+  const auto h = nets::build_delay_line_chain(c, n_stages, opt, "dl_");
+  const double T = opt.pair.clock_period;
+  c.add<si::spice::CurrentSource>(
+      "Iin", c.ground(), h.in,
+      std::make_unique<si::spice::SineWave>(0.0, 5e-6, 1.0 / (8.0 * T)));
+  si::spice::TransientOptions topt;
+  topt.t_stop = periods * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  si::spice::Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out));
+  auto r = tr.run();
+  benchmark::DoNotOptimize(r.time.data());
+  return c.system_size();
+}
+
+/// Builds and runs a Table 2 modulator-core transient; returns the
+/// system size.
+std::size_t run_modulator_transient(int sections, double periods) {
+  namespace nets = si::cells::netlists;
+  si::spice::Circuit c;
+  c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::ModulatorCoreOptions opt;
+  const auto h = nets::build_modulator_core(c, sections, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  c.add<si::spice::CurrentSource>(
+      "Iinp", c.ground(), h.in_p,
+      std::make_unique<si::spice::SineWave>(0.0, 4e-6, 1.0 / (8.0 * T)));
+  c.add<si::spice::CurrentSource>(
+      "Iinm", c.ground(), h.in_m,
+      std::make_unique<si::spice::SineWave>(0.0, -4e-6, 1.0 / (8.0 * T)));
+  si::spice::TransientOptions topt;
+  topt.t_stop = periods * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  si::spice::Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out_p));
+  auto r = tr.run();
+  benchmark::DoNotOptimize(r.time.data());
+  return c.system_size();
+}
+
+/// Forces SI_SOLVER for the benchmark's duration (0 = dense, 1 = sparse).
+class SolverEnv {
+ public:
+  explicit SolverEnv(int kind) {
+    if (const char* v = std::getenv("SI_SOLVER")) saved_ = v;
+    setenv("SI_SOLVER", kind ? "sparse" : "dense", 1);
+  }
+  ~SolverEnv() {
+    if (saved_.empty())
+      unsetenv("SI_SOLVER");
+    else
+      setenv("SI_SOLVER", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
+void BM_SolverChainTransient(benchmark::State& state) {
+  SolverEnv env(static_cast<int>(state.range(1)));
+  std::size_t n = 0;
+  for (auto _ : state) n = run_chain_transient(static_cast<int>(state.range(0)), 1.0);
+  state.counters["unknowns"] = static_cast<double>(n);
+  state.SetLabel(state.range(1) ? "sparse" : "dense");
+}
+BENCHMARK(BM_SolverChainTransient)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverModulatorTransient(benchmark::State& state) {
+  SolverEnv env(static_cast<int>(state.range(1)));
+  std::size_t n = 0;
+  for (auto _ : state)
+    n = run_modulator_transient(static_cast<int>(state.range(0)), 0.5);
+  state.counters["unknowns"] = static_cast<double>(n);
+  state.SetLabel(state.range(1) ? "sparse" : "dense");
+}
+BENCHMARK(BM_SolverModulatorTransient)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// --quick mode: hand-timed dense-vs-sparse table written to
+// BENCH_solvers.json, with a regression gate — sparse must not be slower
+// than dense on the largest Table 2 modulator netlist.  Used by the CI
+// benchmark smoke lane.
+// ---------------------------------------------------------------------------
+
+struct QuickRow {
+  std::string workload;
+  int size = 0;
+  std::size_t unknowns = 0;
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+};
+
+double time_ms(int kind, const std::function<std::size_t()>& run,
+               std::size_t* unknowns) {
+  SolverEnv env(kind);
+  *unknowns = run();  // warm-up (also reports the system size)
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run_quick(const std::string& out_path) {
+  std::vector<QuickRow> rows;
+  for (int stages : {2, 4, 8}) {
+    QuickRow r;
+    r.workload = "table1_delay_line";
+    r.size = stages;
+    auto run = [stages] { return run_chain_transient(stages, 1.0); };
+    r.dense_ms = time_ms(0, run, &r.unknowns);
+    r.sparse_ms = time_ms(1, run, &r.unknowns);
+    rows.push_back(r);
+  }
+  for (int sections : {1, 2, 4, 8}) {
+    QuickRow r;
+    r.workload = "table2_modulator";
+    r.size = sections;
+    auto run = [sections] { return run_modulator_transient(sections, 0.5); };
+    r.dense_ms = time_ms(0, run, &r.unknowns);
+    r.sparse_ms = time_ms(1, run, &r.unknowns);
+    rows.push_back(r);
+  }
+
+  std::ofstream os(out_path);
+  os << "{\n  \"solver_bench\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\"workload\": \"" << r.workload << "\", \"size\": " << r.size
+       << ", \"unknowns\": " << r.unknowns << ", \"dense_ms\": " << r.dense_ms
+       << ", \"sparse_ms\": " << r.sparse_ms
+       << ", \"speedup\": " << r.dense_ms / r.sparse_ms << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+
+  int rc = 0;
+  for (const auto& r : rows) {
+    std::printf("%-18s size=%d unknowns=%zu dense=%.2fms sparse=%.2fms speedup=%.2fx\n",
+                r.workload.c_str(), r.size, r.unknowns, r.dense_ms, r.sparse_ms,
+                r.dense_ms / r.sparse_ms);
+  }
+  // Gate: the largest modulator netlist must not regress.
+  const auto& gate = rows.back();
+  if (gate.sparse_ms > gate.dense_ms) {
+    std::fprintf(stderr,
+                 "FAIL: sparse (%.2f ms) slower than dense (%.2f ms) on "
+                 "table2_modulator size=%d\n",
+                 gate.sparse_ms, gate.dense_ms, gate.size);
+    rc = 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return rc;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out = "BENCH_solvers.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) return run_quick(out);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

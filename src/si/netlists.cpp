@@ -119,6 +119,77 @@ DelayStageHandles build_delay_stage(spice::Circuit& c,
   return h;
 }
 
+DelayLineChainHandles build_delay_line_chain(spice::Circuit& c, int n_stages,
+                                             const DelayStageOptions& opt,
+                                             const std::string& prefix) {
+  if (n_stages < 1)
+    throw std::invalid_argument("build_delay_line_chain: n_stages must be >= 1");
+  DelayLineChainHandles h;
+  h.stages.reserve(static_cast<std::size_t>(n_stages));
+  const spice::TwoPhaseClock clk{opt.pair.clock_period, opt.pair.process.vdd,
+                                 0.0, opt.pair.clock_period / 100.0,
+                                 opt.pair.clock_period / 50.0};
+  for (int k = 0; k < n_stages; ++k) {
+    const std::string sp = prefix + "s" + std::to_string(k) + "_";
+    h.stages.push_back(build_delay_stage(c, opt, sp));
+    if (k == 0) {
+      h.in = h.stages.front().in;
+    } else {
+      // Stage k-1's held output drives stage k's sampling node while
+      // both sit in phase 1.
+      c.add<spice::Switch>(sp + "Slink",
+                           h.stages[static_cast<std::size_t>(k) - 1].mid,
+                           h.stages[static_cast<std::size_t>(k)].in,
+                           clk.phase1(), 10.0, 1e12);
+    }
+  }
+  h.out = h.stages.back().mid;
+  return h;
+}
+
+ModulatorCoreHandles build_modulator_core(spice::Circuit& c, int sections,
+                                          const ModulatorCoreOptions& opt,
+                                          const std::string& prefix) {
+  if (sections < 1)
+    throw std::invalid_argument("build_modulator_core: sections must be >= 1");
+  ModulatorCoreHandles h;
+  h.cmff.reserve(static_cast<std::size_t>(sections));
+  const auto& pc = opt.stage.pair;
+  const spice::TwoPhaseClock clk{pc.clock_period, pc.process.vdd, 0.0,
+                                 pc.clock_period / 100.0,
+                                 pc.clock_period / 50.0};
+  const spice::NodeId vdd = c.node("vdd");
+  spice::NodeId prev_p = 0;
+  spice::NodeId prev_m = 0;
+  for (int k = 0; k < sections; ++k) {
+    const std::string sp = prefix + "sec" + std::to_string(k) + "_";
+    const auto stage_p = build_delay_stage(c, opt.stage, sp + "p_");
+    const auto stage_m = build_delay_stage(c, opt.stage, sp + "m_");
+    const auto f = build_cmff(c, opt.cmff, sp + "f_");
+    // The held differential outputs feed the CMFF diode inputs; small
+    // series resistors keep the joined diode stacks well conditioned.
+    c.add<spice::Resistor>(sp + "Rp", stage_p.mid, f.in_p, 10.0);
+    c.add<spice::Resistor>(sp + "Rm", stage_m.mid, f.in_m, 10.0);
+    c.add<spice::CurrentSource>(sp + "Ibp", vdd, f.in_p, opt.cmff_bias);
+    c.add<spice::CurrentSource>(sp + "Ibm", vdd, f.in_m, opt.cmff_bias);
+    if (k == 0) {
+      h.in_p = stage_p.in;
+      h.in_m = stage_m.in;
+    } else {
+      c.add<spice::Switch>(sp + "Slp", prev_p, stage_p.in, clk.phase1(),
+                           10.0, 1e12);
+      c.add<spice::Switch>(sp + "Slm", prev_m, stage_m.in, clk.phase1(),
+                           10.0, 1e12);
+    }
+    prev_p = f.out_p;
+    prev_m = f.out_m;
+    h.cmff.push_back(f);
+  }
+  h.out_p = prev_p;
+  h.out_m = prev_m;
+  return h;
+}
+
 GgaHandles build_gga(spice::Circuit& c, const GgaOptions& opt,
                      const std::string& prefix) {
   GgaHandles h;

@@ -160,4 +160,44 @@ DelayStageHandles build_delay_stage(spice::Circuit& c,
                                     const DelayStageOptions& opt,
                                     const std::string& prefix = "");
 
+/// An N-stage chain of SI delay stages — the Table 1 delay-line
+/// workload, scalable for solver benchmarks (~6 nodes and 4 MOSFETs per
+/// stage).  Stage k's held output drives stage k+1's sampling node
+/// through a phase-1 transfer switch.  The caller supplies Vdd and the
+/// input stimulus into `in`.
+struct DelayLineChainHandles {
+  spice::NodeId in = 0;   ///< first stage's sampling node
+  spice::NodeId out = 0;  ///< last stage's held-output node
+  std::vector<DelayStageHandles> stages;
+};
+
+DelayLineChainHandles build_delay_line_chain(spice::Circuit& c, int n_stages,
+                                             const DelayStageOptions& opt,
+                                             const std::string& prefix = "");
+
+/// A differential SI modulator core — the Table 2 workload, scalable
+/// for solver benchmarks.  Per section: one delay-stage integrator per
+/// polarity with a CMFF mirror network joined across the held outputs
+/// (~17 nodes and 18 MOSFETs per section); sections chain through
+/// phase-1 coupling switches.  A second-order modulator is
+/// sections = 2.  The caller supplies Vdd and the differential input
+/// stimulus into `in_p` / `in_m`.
+struct ModulatorCoreHandles {
+  spice::NodeId in_p = 0;
+  spice::NodeId in_m = 0;
+  spice::NodeId out_p = 0;
+  spice::NodeId out_m = 0;
+  std::vector<CmffHandles> cmff;
+};
+
+struct ModulatorCoreOptions {
+  DelayStageOptions stage;
+  CmffOptions cmff;
+  double cmff_bias = 40e-6;  ///< standing current into each CMFF input
+};
+
+ModulatorCoreHandles build_modulator_core(spice::Circuit& c, int sections,
+                                          const ModulatorCoreOptions& opt,
+                                          const std::string& prefix = "");
+
 }  // namespace si::cells::netlists

@@ -6,7 +6,7 @@
 
 #include "dsp/signal.hpp"
 #include "erc/check.hpp"
-#include "linalg/lu.hpp"
+#include "spice/mna.hpp"
 
 namespace si::spice {
 
@@ -29,22 +29,18 @@ AcResult ac_analysis(Circuit& c, const std::vector<double>& freqs,
                      const AcOptions& opt) {
   if (opt.erc_gate) erc::enforce(c);
   c.finalize();
-  const std::size_t n = c.system_size();
   AcResult r;
   r.freq = freqs;
   r.solutions.reserve(freqs.size());
 
-  linalg::ComplexMatrix a(n, n);
-  linalg::ComplexVector b(n);
+  // One engine for the sweep: per frequency only the admittance values
+  // change, so the pattern and symbolic factorization are reused.
+  AcEngine engine(c);
+  linalg::ComplexVector x;
   for (double f : freqs) {
-    const double omega = 2.0 * std::numbers::pi * f;
-    a.set_zero();
-    b.assign(n, std::complex<double>{});
-    ComplexStamper stamper(c, a, b);
-    for (const auto& e : c.elements()) e->stamp_ac(stamper, omega);
-    linalg::LuFactorization<std::complex<double>> lu(std::move(a));
-    r.solutions.push_back(lu.solve(b));
-    a.resize(n, n);  // re-allocate after move
+    engine.assemble(2.0 * std::numbers::pi * f);
+    engine.solve(engine.rhs(), x);
+    r.solutions.push_back(x);
   }
   return r;
 }

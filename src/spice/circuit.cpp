@@ -19,6 +19,7 @@ void Circuit::finalize() {
   branch_count_ = 0;
   for (auto& e : elements_) e->setup(*this);
   finalized_ = true;
+  ++revision_;
 }
 
 Element* Circuit::find(const std::string& name) {

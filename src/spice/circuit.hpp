@@ -2,6 +2,7 @@
 // layout (node voltages followed by branch currents).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -62,6 +63,11 @@ class Circuit {
   /// Runs element setup once (idempotent); analyses call this.
   void finalize();
 
+  /// Monotonic topology revision.  Bumped every time finalize() runs
+  /// after an edit; MNA engines compare it to decide whether their
+  /// cached sparsity pattern / symbolic factorization is still valid.
+  std::uint64_t revision() const { return revision_; }
+
   /// Finds an element by name; nullptr if absent.
   Element* find(const std::string& name);
   const Element* find(const std::string& name) const;
@@ -72,6 +78,7 @@ class Circuit {
   std::vector<std::unique_ptr<Element>> elements_;
   int branch_count_ = 0;
   bool finalized_ = false;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace si::spice

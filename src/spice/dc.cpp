@@ -4,77 +4,35 @@
 #include <cmath>
 
 #include "erc/check.hpp"
-#include "linalg/lu.hpp"
+#include "spice/mna.hpp"
 
 namespace si::spice {
 
 int newton_solve(Circuit& c, const StampContext& ctx, linalg::Vector& x,
                  const NewtonOptions& opt, double extra_gdiag) {
-  const std::size_t n = c.system_size();
-  const std::size_t n_nodes = c.node_count() - 1;
-  if (x.size() != n) x.assign(n, 0.0);
-
-  linalg::Matrix a(n, n);
-  linalg::Vector b(n, 0.0);
-
-  bool any_nonlinear = false;
-  for (const auto& e : c.elements())
-    if (e->nonlinear()) any_nonlinear = true;
-
-  for (int it = 1; it <= opt.max_iterations; ++it) {
-    a.set_zero();
-    b.assign(n, 0.0);
-    RealStamper stamper(c, a, b, x);
-    for (const auto& e : c.elements()) e->stamp(stamper, ctx);
-    // Solver-level GMIN from every node to ground: keeps nodes isolated
-    // by open switches / cutoff devices out of the singular regime.
-    for (std::size_t i = 0; i < n_nodes; ++i)
-      a(i, i) += opt.gmin + extra_gdiag;
-
-    linalg::Vector x_new;
-    try {
-      linalg::LuFactorization<double> lu(a);
-      x_new = lu.solve(b);
-    } catch (const linalg::SingularMatrixError& e) {
-      throw ConvergenceError(std::string("singular MNA matrix: ") + e.what());
-    }
-
-    if (!any_nonlinear) {
-      // Linear circuits solve exactly in one step; no damping needed.
-      x = std::move(x_new);
-      return it;
-    }
-
-    // Damp: clamp per-node voltage updates to avoid overshooting the
-    // square-law device curves, and check convergence on the raw update.
-    bool converged = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      double dv = x_new[i] - x[i];
-      if (i < n_nodes) {
-        const double tol = opt.v_abstol + opt.v_reltol * std::abs(x[i]);
-        if (std::abs(dv) > tol) converged = false;
-        dv = std::clamp(dv, -opt.max_step, opt.max_step);
-      }
-      x[i] += dv;
-    }
-    if (converged && it > 1) return it;
-  }
-  throw ConvergenceError("Newton iteration did not converge in " +
-                         std::to_string(opt.max_iterations) + " iterations");
+  MnaEngine engine(c);
+  return engine.newton(ctx, x, opt, extra_gdiag);
 }
 
-DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
+DcResult dc_operating_point(Circuit& c, MnaEngine& engine,
+                            const DcOptions& opt,
+                            const linalg::Vector* warm_start) {
   if (opt.erc_gate) erc::enforce(c);
   c.finalize();
   StampContext ctx;
   ctx.mode = AnalysisMode::kDcOperatingPoint;
   ctx.gmin = opt.newton.gmin;
 
-  linalg::Vector x(c.system_size(), 0.0);
+  linalg::Vector x;
+  if (warm_start && warm_start->size() == c.system_size())
+    x = *warm_start;
+  else
+    x.assign(c.system_size(), 0.0);
+
   DcResult r;
   bool solved = false;
   try {
-    r.iterations = newton_solve(c, ctx, x, opt.newton);
+    r.iterations = engine.newton(ctx, x, opt.newton);
     solved = true;
   } catch (const ConvergenceError&) {
     if (!opt.gmin_stepping) throw;
@@ -86,12 +44,12 @@ DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
     x.assign(c.system_size(), 0.0);
     double g = opt.gmin_start;
     while (true) {
-      r.iterations = newton_solve(c, ctx, x, opt.newton, g);
+      r.iterations = engine.newton(ctx, x, opt.newton, g);
       if (g <= opt.gmin_final) break;
       g = std::max(g * 0.1, opt.gmin_final);
       if (g <= opt.gmin_final * 1.0001) g = 0.0;  // final pass: no leak
       if (g == 0.0) {
-        r.iterations = newton_solve(c, ctx, x, opt.newton, 0.0);
+        r.iterations = engine.newton(ctx, x, opt.newton, 0.0);
         break;
       }
     }
@@ -103,6 +61,11 @@ DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
   return r;
 }
 
+DcResult dc_operating_point(Circuit& c, const DcOptions& opt) {
+  MnaEngine engine(c);
+  return dc_operating_point(c, engine, opt, nullptr);
+}
+
 std::vector<double> dc_sweep(
     Circuit& c, const std::vector<double>& values,
     const std::function<void(double)>& set_point,
@@ -110,11 +73,21 @@ std::vector<double> dc_sweep(
     const DcOptions& opt) {
   std::vector<double> out;
   out.reserve(values.size());
+  // One engine for the whole sweep (the pattern and symbolic
+  // factorization are shared between points) and warm-start each point
+  // from the previous solution: adjacent sweep points are close, so
+  // Newton usually converges in a couple of iterations without the
+  // gmin ladder.  The cold-start fallback inside dc_operating_point
+  // still catches points where the warm start fails.
+  MnaEngine engine(c);
+  linalg::Vector prev;
   for (double v : values) {
     set_point(v);
-    DcResult r = dc_operating_point(c, opt);
+    DcResult r =
+        dc_operating_point(c, engine, opt, prev.empty() ? nullptr : &prev);
     SolutionView sol(c, r.x);
     out.push_back(measure(sol));
+    prev = std::move(r.x);
   }
   return out;
 }

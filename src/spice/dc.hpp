@@ -44,15 +44,29 @@ struct DcResult {
   int iterations = 0; ///< Newton iterations of the final solve
 };
 
+class MnaEngine;
+
 /// Solves the DC operating point.  On success every element has
 /// accept()ed the solution (operating points captured, capacitor states
 /// initialized).  Throws ConvergenceError on failure.
 DcResult dc_operating_point(Circuit& c, const DcOptions& opt = {});
 
+/// Same, but reusing a caller-owned engine (pattern / symbolic caches
+/// survive across calls) and optionally warm-starting Newton from
+/// `warm_start` instead of zero.  A failed warm start falls back to the
+/// usual cold start + gmin-stepping ladder.
+DcResult dc_operating_point(Circuit& c, MnaEngine& engine,
+                            const DcOptions& opt,
+                            const linalg::Vector* warm_start = nullptr);
+
 /// One damped Newton solve at a fixed context; used by DC and transient.
 /// `extra_gdiag` adds a conductance from every node to ground (gmin
 /// stepping / transient never needs it, pass 0).  Returns iterations
 /// used; throws ConvergenceError if not converged.
+///
+/// Convenience wrapper that builds a throwaway MnaEngine; hot loops
+/// should hold an engine and call MnaEngine::newton directly so the
+/// sparsity pattern, symbolic factorization, and workspaces are reused.
 int newton_solve(Circuit& c, const StampContext& ctx, linalg::Vector& x,
                  const NewtonOptions& opt, double extra_gdiag = 0.0);
 

@@ -23,7 +23,26 @@ double SolutionView::branch_current(int branch) const {
 
 RealStamper::RealStamper(const Circuit& c, linalg::Matrix& a,
                          linalg::Vector& b, const linalg::Vector& x)
-    : circuit_(&c), a_(&a), b_(&b), x_(&x) {}
+    : circuit_(&c), dense_(&a), b_(&b), x_(&x) {}
+
+RealStamper::RealStamper(const Circuit& c, linalg::SparseMatrixD& a,
+                         linalg::Vector& b, const linalg::Vector& x,
+                         linalg::SlotMemo* memo)
+    : circuit_(&c), sparse_(&a), memo_(memo), b_(&b), x_(&x) {}
+
+RealStamper::RealStamper(const Circuit& c, linalg::PatternBuilder& rec,
+                         linalg::Vector& b, const linalg::Vector& x)
+    : circuit_(&c), record_(&rec), b_(&b), x_(&x) {}
+
+void RealStamper::add(int r, int c, double v) {
+  if (dense_) {
+    (*dense_)(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+  } else if (sparse_) {
+    sparse_->add(r, c, v, memo_);
+  } else {
+    record_->add(r, c);
+  }
+}
 
 int RealStamper::branch_index(int branch) const {
   return static_cast<int>(circuit_->node_count()) - 1 + branch;
@@ -41,11 +60,11 @@ double RealStamper::branch_current(int branch) const {
 void RealStamper::conductance(NodeId a, NodeId b, double g) {
   const int ia = node_index(a);
   const int ib = node_index(b);
-  if (ia >= 0) (*a_)(ia, ia) += g;
-  if (ib >= 0) (*a_)(ib, ib) += g;
+  if (ia >= 0) add(ia, ia, g);
+  if (ib >= 0) add(ib, ib, g);
   if (ia >= 0 && ib >= 0) {
-    (*a_)(ia, ib) -= g;
-    (*a_)(ib, ia) -= g;
+    add(ia, ib, -g);
+    add(ib, ia, -g);
   }
 }
 
@@ -55,17 +74,17 @@ void RealStamper::transconductance(NodeId out_p, NodeId out_m, NodeId cp,
   const int im = node_index(out_m);
   const int icp = node_index(cp);
   const int icm = node_index(cm);
-  if (ip >= 0 && icp >= 0) (*a_)(ip, icp) += g;
-  if (ip >= 0 && icm >= 0) (*a_)(ip, icm) -= g;
-  if (im >= 0 && icp >= 0) (*a_)(im, icp) -= g;
-  if (im >= 0 && icm >= 0) (*a_)(im, icm) += g;
+  if (ip >= 0 && icp >= 0) add(ip, icp, g);
+  if (ip >= 0 && icm >= 0) add(ip, icm, -g);
+  if (im >= 0 && icp >= 0) add(im, icp, -g);
+  if (im >= 0 && icm >= 0) add(im, icm, g);
 }
 
 void RealStamper::current(NodeId p, NodeId m, double i) {
   const int ip = node_index(p);
   const int im = node_index(m);
-  if (ip >= 0) (*b_)[ip] -= i;
-  if (im >= 0) (*b_)[im] += i;
+  if (ip >= 0) (*b_)[static_cast<std::size_t>(ip)] -= i;
+  if (im >= 0) (*b_)[static_cast<std::size_t>(im)] += i;
 }
 
 void RealStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
@@ -73,12 +92,12 @@ void RealStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
   const int ip = node_index(p);
   const int im = node_index(m);
   if (ip >= 0) {
-    (*a_)(row, ip) += 1.0;
-    (*a_)(ip, row) += 1.0;
+    add(row, ip, 1.0);
+    add(ip, row, 1.0);
   }
   if (im >= 0) {
-    (*a_)(row, im) -= 1.0;
-    (*a_)(im, row) -= 1.0;
+    add(row, im, -1.0);
+    add(im, row, -1.0);
   }
 }
 
@@ -89,23 +108,42 @@ void RealStamper::branch_rhs(int branch, double v) {
 void RealStamper::branch_row_entry(int branch, NodeId n, double coeff) {
   const int row = branch_index(branch);
   const int in = node_index(n);
-  if (in >= 0) (*a_)(row, in) += coeff;
+  if (in >= 0) add(row, in, coeff);
 }
 
 void RealStamper::node_branch_entry(NodeId n, int branch, double coeff) {
   const int in = node_index(n);
   const int col = branch_index(branch);
-  if (in >= 0) (*a_)(in, col) += coeff;
+  if (in >= 0) add(in, col, coeff);
 }
 
 void RealStamper::branch_branch_entry(int row_branch, int col_branch,
                                       double coeff) {
-  (*a_)(branch_index(row_branch), branch_index(col_branch)) += coeff;
+  add(branch_index(row_branch), branch_index(col_branch), coeff);
 }
 
 ComplexStamper::ComplexStamper(const Circuit& c, linalg::ComplexMatrix& a,
                                linalg::ComplexVector& b)
-    : circuit_(&c), a_(&a), b_(&b) {}
+    : circuit_(&c), dense_(&a), b_(&b) {}
+
+ComplexStamper::ComplexStamper(const Circuit& c, linalg::SparseMatrixZ& a,
+                               linalg::ComplexVector& b,
+                               linalg::SlotMemo* memo)
+    : circuit_(&c), sparse_(&a), memo_(memo), b_(&b) {}
+
+ComplexStamper::ComplexStamper(const Circuit& c, linalg::PatternBuilder& rec,
+                               linalg::ComplexVector& b)
+    : circuit_(&c), record_(&rec), b_(&b) {}
+
+void ComplexStamper::add(int r, int c, std::complex<double> v) {
+  if (dense_) {
+    (*dense_)(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+  } else if (sparse_) {
+    sparse_->add(r, c, v, memo_);
+  } else {
+    record_->add(r, c);
+  }
+}
 
 int ComplexStamper::branch_index(int branch) const {
   return static_cast<int>(circuit_->node_count()) - 1 + branch;
@@ -114,11 +152,11 @@ int ComplexStamper::branch_index(int branch) const {
 void ComplexStamper::admittance(NodeId a, NodeId b, std::complex<double> y) {
   const int ia = node_index(a);
   const int ib = node_index(b);
-  if (ia >= 0) (*a_)(ia, ia) += y;
-  if (ib >= 0) (*a_)(ib, ib) += y;
+  if (ia >= 0) add(ia, ia, y);
+  if (ib >= 0) add(ib, ib, y);
   if (ia >= 0 && ib >= 0) {
-    (*a_)(ia, ib) -= y;
-    (*a_)(ib, ia) -= y;
+    add(ia, ib, -y);
+    add(ib, ia, -y);
   }
 }
 
@@ -128,17 +166,17 @@ void ComplexStamper::transadmittance(NodeId out_p, NodeId out_m, NodeId cp,
   const int im = node_index(out_m);
   const int icp = node_index(cp);
   const int icm = node_index(cm);
-  if (ip >= 0 && icp >= 0) (*a_)(ip, icp) += y;
-  if (ip >= 0 && icm >= 0) (*a_)(ip, icm) -= y;
-  if (im >= 0 && icp >= 0) (*a_)(im, icp) -= y;
-  if (im >= 0 && icm >= 0) (*a_)(im, icm) += y;
+  if (ip >= 0 && icp >= 0) add(ip, icp, y);
+  if (ip >= 0 && icm >= 0) add(ip, icm, -y);
+  if (im >= 0 && icp >= 0) add(im, icp, -y);
+  if (im >= 0 && icm >= 0) add(im, icm, y);
 }
 
 void ComplexStamper::current(NodeId p, NodeId m, std::complex<double> i) {
   const int ip = node_index(p);
   const int im = node_index(m);
-  if (ip >= 0) (*b_)[ip] -= i;
-  if (im >= 0) (*b_)[im] += i;
+  if (ip >= 0) (*b_)[static_cast<std::size_t>(ip)] -= i;
+  if (im >= 0) (*b_)[static_cast<std::size_t>(im)] += i;
 }
 
 void ComplexStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
@@ -146,12 +184,12 @@ void ComplexStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
   const int ip = node_index(p);
   const int im = node_index(m);
   if (ip >= 0) {
-    (*a_)(row, ip) += 1.0;
-    (*a_)(ip, row) += 1.0;
+    add(row, ip, 1.0);
+    add(ip, row, 1.0);
   }
   if (im >= 0) {
-    (*a_)(row, im) -= 1.0;
-    (*a_)(im, row) -= 1.0;
+    add(row, im, -1.0);
+    add(im, row, -1.0);
   }
 }
 
@@ -163,19 +201,19 @@ void ComplexStamper::branch_row_entry(int branch, NodeId n,
                                       std::complex<double> coeff) {
   const int row = branch_index(branch);
   const int in = node_index(n);
-  if (in >= 0) (*a_)(row, in) += coeff;
+  if (in >= 0) add(row, in, coeff);
 }
 
 void ComplexStamper::node_branch_entry(NodeId n, int branch,
                                        std::complex<double> coeff) {
   const int in = node_index(n);
   const int col = branch_index(branch);
-  if (in >= 0) (*a_)(in, col) += coeff;
+  if (in >= 0) add(in, col, coeff);
 }
 
 void ComplexStamper::branch_branch_entry(int row_branch, int col_branch,
                                          std::complex<double> coeff) {
-  (*a_)(branch_index(row_branch), branch_index(col_branch)) += coeff;
+  add(branch_index(row_branch), branch_index(col_branch), coeff);
 }
 
 void Element::stamp_ac(ComplexStamper&, double) const {

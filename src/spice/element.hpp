@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace si::spice {
 
@@ -53,10 +54,23 @@ class SolutionView {
 };
 
 /// Accumulates real (DC / transient Newton) stamps.
+///
+/// Three interchangeable backends keep the Element interface unchanged
+/// while the MNA engine picks the representation:
+///  - dense: writes into a DenseMatrix (the seed behavior);
+///  - sparse: indexed writes into a SparseMatrix's nonzero array,
+///    optionally through a SlotMemo so replayed Newton iterations skip
+///    the slot search entirely (pattern-cached stamping);
+///  - record: collects the (row, col) touches into a PatternBuilder
+///    during the engine's one-time discovery pass (values discarded).
 class RealStamper {
  public:
   RealStamper(const Circuit& c, linalg::Matrix& a, linalg::Vector& b,
               const linalg::Vector& x);
+  RealStamper(const Circuit& c, linalg::SparseMatrixD& a, linalg::Vector& b,
+              const linalg::Vector& x, linalg::SlotMemo* memo = nullptr);
+  RealStamper(const Circuit& c, linalg::PatternBuilder& rec,
+              linalg::Vector& b, const linalg::Vector& x);
 
   /// Voltage of node `n` in the current Newton iterate.
   double voltage(NodeId n) const;
@@ -83,9 +97,13 @@ class RealStamper {
  private:
   int node_index(NodeId n) const { return n - 1; }  // -1 for ground
   int branch_index(int branch) const;
+  void add(int r, int c, double v);
 
   const Circuit* circuit_;
-  linalg::Matrix* a_;
+  linalg::Matrix* dense_ = nullptr;
+  linalg::SparseMatrixD* sparse_ = nullptr;
+  linalg::PatternBuilder* record_ = nullptr;
+  linalg::SlotMemo* memo_ = nullptr;
   linalg::Vector* b_;
   const linalg::Vector* x_;
 };
@@ -95,6 +113,10 @@ class RealStamper {
 class ComplexStamper {
  public:
   ComplexStamper(const Circuit& c, linalg::ComplexMatrix& a,
+                 linalg::ComplexVector& b);
+  ComplexStamper(const Circuit& c, linalg::SparseMatrixZ& a,
+                 linalg::ComplexVector& b, linalg::SlotMemo* memo = nullptr);
+  ComplexStamper(const Circuit& c, linalg::PatternBuilder& rec,
                  linalg::ComplexVector& b);
 
   void admittance(NodeId a, NodeId b, std::complex<double> y);
@@ -111,9 +133,13 @@ class ComplexStamper {
  private:
   int node_index(NodeId n) const { return n - 1; }
   int branch_index(int branch) const;
+  void add(int r, int c, std::complex<double> v);
 
   const Circuit* circuit_;
-  linalg::ComplexMatrix* a_;
+  linalg::ComplexMatrix* dense_ = nullptr;
+  linalg::SparseMatrixZ* sparse_ = nullptr;
+  linalg::PatternBuilder* record_ = nullptr;
+  linalg::SlotMemo* memo_ = nullptr;
   linalg::ComplexVector* b_;
 };
 

@@ -4,7 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "linalg/lu.hpp"
+#include "spice/mna.hpp"
 
 namespace si::spice {
 
@@ -48,16 +48,15 @@ NoiseResult noise_analysis(Circuit& c, const NoiseOptions& opt) {
     r.by_source[s].psd.assign(opt.freqs.size(), 0.0);
   }
 
-  linalg::ComplexMatrix a(n, n);
+  // One engine for the sweep: each frequency is a values-only restamp
+  // and numeric refactor, then one solve per noise source against the
+  // shared factorization.
+  AcEngine engine(c);
   linalg::ComplexVector b(n);
+  linalg::ComplexVector x;
   for (std::size_t k = 0; k < opt.freqs.size(); ++k) {
     const double f = opt.freqs[k];
-    const double omega = 2.0 * std::numbers::pi * f;
-    a.set_zero();
-    ComplexStamper stamper(c, a, b);  // b unused for stamping matrix
-    for (const auto& e : c.elements()) e->stamp_ac(stamper, omega);
-    linalg::LuFactorization<std::complex<double>> lu(std::move(a));
-    a.resize(n, n);
+    engine.assemble(2.0 * std::numbers::pi * f);
 
     for (std::size_t s = 0; s < sources.size(); ++s) {
       const NoiseSource& src = sources[s];
@@ -67,7 +66,7 @@ NoiseResult noise_analysis(Circuit& c, const NoiseOptions& opt) {
         b[static_cast<std::size_t>(src.node_p - 1)] -= 1.0;
       if (src.node_m != kGroundNode)
         b[static_cast<std::size_t>(src.node_m - 1)] += 1.0;
-      const linalg::ComplexVector x = lu.solve(b);
+      engine.solve(b, x);
       auto v_of = [&](NodeId node) -> std::complex<double> {
         if (node == kGroundNode) return {0.0, 0.0};
         return x[static_cast<std::size_t>(node - 1)];

@@ -5,6 +5,7 @@
 
 #include "erc/check.hpp"
 #include "spice/elements.hpp"
+#include "spice/mna.hpp"
 
 namespace si::spice {
 
@@ -53,12 +54,18 @@ TransientResult Transient::run(
     i_probes.emplace_back("i(" + n + ")", vs);
   }
 
+  // One engine for the whole run (DC operating point included): the
+  // sparsity pattern, symbolic factorization, stamp-slot memos, and
+  // solve workspaces are built once and reused — the time loop
+  // allocates nothing.
+  MnaEngine engine(c);
+
   linalg::Vector x(c.system_size(), 0.0);
   if (opt_.start_from_dc) {
     DcOptions dco;
     dco.newton = opt_.newton;
     dco.erc_gate = false;  // already checked (or opted out) above
-    DcResult op = dc_operating_point(c, dco);
+    DcResult op = dc_operating_point(c, engine, dco);
     x = std::move(op.x);
   } else {
     for (const auto& [name, volts] : initial_voltages_) {
@@ -77,15 +84,29 @@ TransientResult Transient::run(
 
   TransientResult result;
   result.time.reserve(steps + 1);
-  for (const auto& [label, _] : v_probes) result.signals[label] = {};
-  for (const auto& [label, _] : i_probes) result.signals[label] = {};
+  // Resolve each probe's signal vector once: the map lookups stay out
+  // of the per-step hot path, and pointers into the node-based
+  // unordered_map stay valid while it grows.
+  std::vector<std::pair<NodeId, std::vector<double>*>> v_sinks;
+  v_sinks.reserve(v_probes.size());
+  for (const auto& [label, node] : v_probes) {
+    auto& vec = result.signals[label];
+    vec.reserve(steps + 1);
+    v_sinks.emplace_back(node, &vec);
+  }
+  std::vector<std::pair<int, std::vector<double>*>> i_sinks;
+  i_sinks.reserve(i_probes.size());
+  for (const auto& [label, vs] : i_probes) {
+    auto& vec = result.signals[label];
+    vec.reserve(steps + 1);
+    i_sinks.emplace_back(vs->branch(), &vec);
+  }
 
   auto record = [&](double t, const SolutionView& sol) {
     result.time.push_back(t);
-    for (const auto& [label, node] : v_probes)
-      result.signals[label].push_back(sol.voltage(node));
-    for (const auto& [label, vs] : i_probes)
-      result.signals[label].push_back(sol.branch_current(vs->branch()));
+    for (const auto& [node, vec] : v_sinks) vec->push_back(sol.voltage(node));
+    for (const auto& [branch, vec] : i_sinks)
+      vec->push_back(sol.branch_current(branch));
     if (on_step) on_step(t, sol);
   };
 
@@ -103,7 +124,7 @@ TransientResult Transient::run(
   if (!opt_.adaptive) {
     for (std::size_t k = 1; k <= steps; ++k) {
       ctx.time = static_cast<double>(k) * opt_.dt;
-      newton_solve(c, ctx, x, opt_.newton);
+      engine.newton(ctx, x, opt_.newton);
       SolutionView sol(c, x);
       for (const auto& e : c.elements()) e->accept(sol, ctx);
       record(ctx.time, sol);
@@ -118,17 +139,22 @@ TransientResult Transient::run(
   const double dt_max = opt_.dt_max > 0 ? opt_.dt_max : opt_.dt * 16.0;
   double t = 0.0;
   double dt = opt_.dt;
+  linalg::Vector x_trap;  // hoisted: the loop reuses their storage
+  linalg::Vector x_be;
   while (t < opt_.t_stop - 1e-18 * opt_.t_stop) {
     dt = std::min(dt, opt_.t_stop - t);
     ctx.time = t + dt;
     ctx.dt = dt;
 
     ctx.integrator = Integrator::kTrapezoidal;
-    linalg::Vector x_trap = x;
-    newton_solve(c, ctx, x_trap, opt_.newton);
+    x_trap = x;
+    engine.newton(ctx, x_trap, opt_.newton);
+    // The BE companion solve estimates the same step's LTE, so the
+    // converged trapezoidal solution is the best available warm start —
+    // it is typically within the error estimate of the BE answer.
     ctx.integrator = Integrator::kBackwardEuler;
-    linalg::Vector x_be = x;
-    newton_solve(c, ctx, x_be, opt_.newton);
+    x_be = x_trap;
+    engine.newton(ctx, x_be, opt_.newton);
 
     double err = 0.0;
     for (std::size_t i = 0; i < n_nodes; ++i)
@@ -139,7 +165,7 @@ TransientResult Transient::run(
       continue;  // reject and retry with a smaller step
     }
     // Accept the (more accurate) trapezoidal solution.
-    x = std::move(x_trap);
+    x = x_trap;
     ctx.integrator = Integrator::kTrapezoidal;
     SolutionView sol(c, x);
     for (const auto& e : c.elements()) e->accept(sol, ctx);

@@ -1,0 +1,135 @@
+// Tier-1 solver-parity assertions: the Table 1 delay-line and Table 2
+// modulator-core transients must produce the same waveforms under
+// SI_SOLVER=dense and SI_SOLVER=sparse — within 1e-9 on the raw
+// doubles, and byte-identical once formatted at the %.6g precision the
+// bench tables emit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "si/netlists.hpp"
+#include "spice/mna.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+using namespace si::cells::netlists;
+
+/// Runs `run` with SI_SOLVER forced to `kind`, restoring the prior
+/// value afterwards.
+template <typename F>
+auto with_solver(const char* kind, F run) {
+  std::string saved;
+  bool had = false;
+  if (const char* v = std::getenv("SI_SOLVER")) {
+    saved = v;
+    had = true;
+  }
+  setenv("SI_SOLVER", kind, 1);
+  auto result = run();
+  if (had)
+    setenv("SI_SOLVER", saved.c_str(), 1);
+  else
+    unsetenv("SI_SOLVER");
+  return result;
+}
+
+std::string fmt6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void expect_signals_match(const TransientResult& dense,
+                          const TransientResult& sparse) {
+  ASSERT_EQ(dense.time.size(), sparse.time.size());
+  ASSERT_EQ(dense.signals.size(), sparse.signals.size());
+  for (const auto& [label, dv] : dense.signals) {
+    const auto& sv = sparse.signal(label);
+    ASSERT_EQ(dv.size(), sv.size()) << label;
+    for (std::size_t k = 0; k < dv.size(); ++k) {
+      EXPECT_NEAR(dv[k], sv[k], 1e-9) << label << " sample " << k;
+      EXPECT_EQ(fmt6(dv[k]), fmt6(sv[k])) << label << " sample " << k;
+    }
+  }
+}
+
+TransientResult run_table1_chain() {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  DelayStageOptions opt;
+  const auto h = build_delay_line_chain(c, 3, opt, "dl_");
+  const double T = opt.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iin", c.ground(), h.in,
+      std::make_unique<SineWave>(0.0, 5e-6, 1.0 / (8.0 * T), 0.0));
+  TransientOptions topt;
+  topt.t_stop = 2.0 * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.in));
+  tr.probe_voltage(c.node_name(h.out));
+  return tr.run();
+}
+
+TransientResult run_table2_modulator() {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  ModulatorCoreOptions opt;
+  const auto h = build_modulator_core(c, 1, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iinp", c.ground(), h.in_p,
+      std::make_unique<SineWave>(0.0, 4e-6, 1.0 / (8.0 * T), 0.0));
+  c.add<CurrentSource>(
+      "Iinm", c.ground(), h.in_m,
+      std::make_unique<SineWave>(0.0, -4e-6, 1.0 / (8.0 * T), 0.0));
+  TransientOptions topt;
+  topt.t_stop = T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out_p));
+  tr.probe_voltage(c.node_name(h.out_m));
+  return tr.run();
+}
+
+TEST(SolverParity, Table1DelayLineTransient) {
+  const auto dense = with_solver("dense", run_table1_chain);
+  const auto sparse = with_solver("sparse", run_table1_chain);
+  expect_signals_match(dense, sparse);
+}
+
+TEST(SolverParity, Table2ModulatorTransient) {
+  const auto dense = with_solver("dense", run_table2_modulator);
+  const auto sparse = with_solver("sparse", run_table2_modulator);
+  expect_signals_match(dense, sparse);
+}
+
+TEST(SolverParity, AdaptiveTransientAgreesAcrossSolvers) {
+  auto run = [] {
+    Circuit c;
+    c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+    MemoryPairOptions opt;
+    const auto h = build_class_ab_memory_pair(c, opt, "m_");
+    c.add<CurrentSource>("Iin", c.ground(), h.d, 8e-6);
+    TransientOptions topt;
+    topt.t_stop = 0.75 * opt.clock_period;
+    topt.dt = opt.clock_period / 500.0;
+    topt.adaptive = true;
+    Transient tr(c, topt);
+    tr.probe_voltage("m_gn");
+    return tr.run();
+  };
+  const auto dense = with_solver("dense", run);
+  const auto sparse = with_solver("sparse", run);
+  expect_signals_match(dense, sparse);
+}
+
+}  // namespace

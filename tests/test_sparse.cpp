@@ -1,0 +1,352 @@
+// Sparse pattern / sparse LU unit tests: randomized dense-vs-sparse
+// equivalence on MNA-shaped and SPD matrices (real and complex),
+// refactor reuse, pivot drift, singular-matrix parity with the dense
+// path, and the slot-memo replay used by pattern-cached stamping.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+
+using namespace si::linalg;
+using cplx = std::complex<double>;
+
+namespace {
+
+// Random sparse pattern shaped like an MNA system: a diagonally-coupled
+// node block plus a few "branch rows" with zero diagonal that only
+// couple off-diagonally (the voltage-source structure that forces real
+// pivoting).
+struct RandomSystem {
+  std::shared_ptr<const SparsePattern> pattern;
+  std::vector<std::pair<int, int>> coords;  // includes the transpose pairs
+};
+
+RandomSystem random_mna_pattern(int n_nodes, int n_branches,
+                                std::mt19937& rng) {
+  const int n = n_nodes + n_branches;
+  PatternBuilder b(n);
+  std::vector<std::pair<int, int>> coords;
+  std::uniform_int_distribution<int> node(0, n_nodes - 1);
+  // Two-terminal conductances between random node pairs.
+  for (int k = 0; k < 3 * n_nodes; ++k) {
+    const int i = node(rng), j = node(rng);
+    b.add(i, i);
+    b.add(j, j);
+    b.add(i, j);
+    b.add(j, i);
+    coords.push_back({i, i});
+    coords.push_back({j, j});
+    coords.push_back({i, j});
+    coords.push_back({j, i});
+  }
+  // Branch rows: +-1 couplings, structurally zero diagonal.
+  for (int k = 0; k < n_branches; ++k) {
+    const int row = n_nodes + k;
+    const int i = node(rng);
+    b.add(row, i);
+    b.add(i, row);
+    coords.push_back({row, i});
+    coords.push_back({i, row});
+  }
+  RandomSystem s;
+  s.pattern = b.build();
+  s.coords = coords;
+  return s;
+}
+
+template <typename T>
+T random_value(std::mt19937& rng);
+
+template <>
+double random_value<double>(std::mt19937& rng) {
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  return d(rng);
+}
+
+template <>
+cplx random_value<cplx>(std::mt19937& rng) {
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  return {d(rng), d(rng)};
+}
+
+// Fills a random MNA-shaped matrix: conductance-like values plus a
+// dominant diagonal on the node block and +-1 branch couplings.
+template <typename T>
+SparseMatrix<T> random_mna_values(const RandomSystem& s, int n_nodes,
+                                  std::mt19937& rng) {
+  SparseMatrix<T> a(s.pattern);
+  for (const auto& [i, j] : s.coords)
+    a.add(i, j, random_value<T>(rng) * T{0.3});
+  for (int i = 0; i < n_nodes; ++i) a.add(i, i, T{4.0});
+  // Branch couplings get unit-scale entries.
+  const auto& rp = s.pattern->row_ptr();
+  for (int r = n_nodes; r < s.pattern->dim(); ++r)
+    for (std::size_t k = rp[static_cast<std::size_t>(r)];
+         k < rp[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = s.pattern->col_idx()[k];
+      if (c != r) {
+        a.add(r, c, T{1.0});
+        a.add(c, r, T{1.0});
+      }
+    }
+  return a;
+}
+
+template <typename T>
+double rel_err(const std::vector<T>& a, const std::vector<T>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num = std::max(num, std::abs(a[i] - b[i]));
+    den = std::max(den, std::abs(b[i]));
+  }
+  return num / (den > 0 ? den : 1.0);
+}
+
+template <typename T>
+void check_dense_sparse_agree(int n_nodes, int n_branches,
+                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const auto sys = random_mna_pattern(n_nodes, n_branches, rng);
+  const auto a = random_mna_values<T>(sys, n_nodes, rng);
+  const int n = sys.pattern->dim();
+
+  std::vector<T> bvec(static_cast<std::size_t>(n));
+  for (auto& v : bvec) v = random_value<T>(rng);
+
+  LuFactorization<T> dense(a.to_dense());
+  const std::vector<T> x_dense = dense.solve(bvec);
+
+  SparseLu<T> lu;
+  lu.factor(a);
+  std::vector<T> x_sparse;
+  lu.solve(bvec, x_sparse);
+
+  EXPECT_LT(rel_err(x_sparse, x_dense), 1e-12)
+      << "n_nodes=" << n_nodes << " branches=" << n_branches
+      << " seed=" << seed;
+
+  // Residual check against the original matrix.
+  const auto r = a.multiply(x_sparse);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(r[static_cast<std::size_t>(i)] -
+                         bvec[static_cast<std::size_t>(i)]),
+                0.0, 1e-9);
+}
+
+}  // namespace
+
+TEST(SparsePattern, BuildSortsDeduplicatesAndAddsDiagonal) {
+  PatternBuilder b(4);
+  b.add(2, 1);
+  b.add(2, 1);
+  b.add(0, 3);
+  const auto p = b.build(/*symmetrize=*/false);
+  EXPECT_EQ(p->dim(), 4);
+  // 2 unique off-diagonal coords + 4 diagonal entries.
+  EXPECT_EQ(p->nnz(), 6u);
+  EXPECT_GE(p->find(2, 1), 0);
+  EXPECT_GE(p->find(0, 3), 0);
+  EXPECT_EQ(p->find(1, 2), -1);
+  EXPECT_EQ(p->find(3, 0), -1);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(p->find(i, i), 0);
+  EXPECT_EQ(p->diag_slots().size(), 4u);
+}
+
+TEST(SparsePattern, SymmetrizeAddsTransposedCoords) {
+  PatternBuilder b(3);
+  b.add(0, 2);
+  const auto p = b.build(/*symmetrize=*/true);
+  EXPECT_GE(p->find(0, 2), 0);
+  EXPECT_GE(p->find(2, 0), 0);
+}
+
+TEST(SparseMatrix, AddOutsidePatternThrows) {
+  PatternBuilder b(3);
+  b.add(0, 1);
+  SparseMatrix<double> a(b.build(false));
+  a.add(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 1), 2.0);
+  EXPECT_THROW(a.add(1, 2, 1.0), PatternMissError);
+}
+
+TEST(SparseMatrix, SlotMemoReplaysAndPatchesShiftedSequences) {
+  PatternBuilder b(3);
+  b.add(0, 1);
+  b.add(1, 0);
+  SparseMatrix<double> a(b.build(false));
+  SlotMemo memo;
+
+  memo.start_record();
+  a.add(0, 1, 1.0, &memo);
+  a.add(1, 0, 1.0, &memo);
+  ASSERT_EQ(memo.slots.size(), 2u);
+
+  memo.start_replay();
+  a.add(0, 1, 1.0, &memo);  // fast path
+  a.add(1, 0, 1.0, &memo);
+  EXPECT_DOUBLE_EQ(a.get(0, 1), 2.0);
+
+  // Shifted sequence (swapped order): must still land correctly.
+  memo.start_replay();
+  a.add(1, 0, 5.0, &memo);
+  a.add(0, 1, 7.0, &memo);
+  EXPECT_DOUBLE_EQ(a.get(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 1), 9.0);
+
+  // Longer-than-recorded sequence appends.
+  memo.start_replay();
+  a.add(1, 0, 0.0, &memo);
+  a.add(0, 1, 0.0, &memo);
+  a.add(2, 2, 3.0, &memo);
+  EXPECT_DOUBLE_EQ(a.get(2, 2), 3.0);
+}
+
+TEST(MinDegree, ProducesAValidPermutation) {
+  std::mt19937 rng(7);
+  const auto sys = random_mna_pattern(12, 3, rng);
+  const auto order = min_degree_order(*sys.pattern);
+  ASSERT_EQ(order.size(), 15u);
+  std::vector<char> seen(15, 0);
+  for (int v : order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 15);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+TEST(SparseLu, AgreesWithDenseOnRandomMnaSystemsReal) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed)
+    check_dense_sparse_agree<double>(10 + 3 * static_cast<int>(seed),
+                                     static_cast<int>(seed % 4), seed);
+}
+
+TEST(SparseLu, AgreesWithDenseOnRandomMnaSystemsComplex) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed)
+    check_dense_sparse_agree<cplx>(10 + 3 * static_cast<int>(seed),
+                                   static_cast<int>(seed % 4), seed);
+}
+
+TEST(SparseLu, AgreesWithDenseOnSpdMatrices) {
+  // SPD-ish: symmetric value assignment with a strong diagonal.
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 20 + 10 * trial;
+    const auto sys = random_mna_pattern(n, 0, rng);
+    SparseMatrix<double> a(sys.pattern);
+    for (const auto& [i, j] : sys.coords) {
+      if (i > j) continue;
+      const double v = random_value<double>(rng) * 0.2;
+      a.add(i, j, v);
+      if (i != j) a.add(j, i, v);
+    }
+    for (int i = 0; i < n; ++i) a.add(i, i, 5.0);
+
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = random_value<double>(rng);
+
+    LuFactorization<double> dense(a.to_dense());
+    SparseLu<double> lu;
+    lu.factor(a);
+    std::vector<double> xs;
+    lu.solve(b, xs);
+    EXPECT_LT(rel_err(xs, dense.solve(b)), 1e-12);
+  }
+}
+
+TEST(SparseLu, RefactorReusesSymbolicAndMatchesFreshFactor) {
+  std::mt19937 rng(11);
+  const auto sys = random_mna_pattern(20, 4, rng);
+  auto a = random_mna_values<double>(sys, 20, rng);
+
+  SparseLu<double> lu;
+  lu.factor(a);
+  EXPECT_EQ(lu.symbolic_builds(), 1u);
+
+  // New values, same pattern: refactor must not redo symbolic analysis.
+  std::mt19937 rng2(12);
+  auto a2 = random_mna_values<double>(sys, 20, rng2);
+  lu.refactor(a2);
+  EXPECT_EQ(lu.symbolic_builds(), 1u);
+
+  std::vector<double> b(a2.values().size() ? static_cast<std::size_t>(
+                                                 sys.pattern->dim())
+                                           : 0u);
+  for (auto& v : b) v = random_value<double>(rng2);
+  std::vector<double> xs;
+  lu.solve(b, xs);
+  EXPECT_LT(rel_err(xs, LuFactorization<double>(a2.to_dense()).solve(b)),
+            1e-12);
+}
+
+TEST(SparseLu, SingularMatrixParityWithDense) {
+  // Two identical rows -> singular for both engines.
+  PatternBuilder pb(3);
+  pb.add(0, 1);
+  pb.add(1, 0);
+  pb.add(0, 0);
+  pb.add(1, 1);
+  pb.add(2, 2);
+  SparseMatrix<double> a(pb.build());
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 2.0);
+  a.add(2, 2, 1.0);
+
+  EXPECT_THROW(LuFactorization<double> dense(a.to_dense()),
+               SingularMatrixError);
+  SparseLu<double> lu;
+  EXPECT_THROW(lu.factor(a), SingularMatrixError);
+}
+
+TEST(SparseLu, PivotDriftOnRefactorThrowsAndRefactorsAfterRepivot) {
+  // Factor with a benign matrix, then collapse a pivot to ~0 while a
+  // large entry elsewhere keeps the matrix well-conditioned: the frozen
+  // pivot order is now bad and the refactor must say so.
+  PatternBuilder pb(2);
+  pb.add(0, 1);
+  pb.add(1, 0);
+  SparseMatrix<double> a(pb.build());
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.add(0, 1, 0.0);
+  a.add(1, 0, 0.0);
+
+  SparseLu<double> lu;
+  lu.factor(a);
+
+  SparseMatrix<double> bad(a.pattern_ptr());
+  bad.add(0, 0, 0.0);
+  bad.add(0, 1, 1.0);
+  bad.add(1, 0, 1.0);
+  bad.add(1, 1, 0.0);
+  EXPECT_THROW(lu.refactor(bad), PivotDriftError);
+
+  // A full factor() re-pivots and handles it.
+  lu.factor(bad);
+  std::vector<double> x;
+  lu.solve({2.0, 3.0}, x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, SolveIsReusableAcrossManyRhs) {
+  std::mt19937 rng(5);
+  const auto sys = random_mna_pattern(15, 2, rng);
+  const auto a = random_mna_values<cplx>(sys, 15, rng);
+  SparseLu<cplx> lu;
+  lu.factor(a);
+  LuFactorization<cplx> dense(a.to_dense());
+
+  std::vector<cplx> b(static_cast<std::size_t>(sys.pattern->dim()));
+  std::vector<cplx> x;
+  for (int k = 0; k < 5; ++k) {
+    for (auto& v : b) v = random_value<cplx>(rng);
+    lu.solve(b, x);
+    EXPECT_LT(rel_err(x, dense.solve(b)), 1e-12);
+  }
+}
