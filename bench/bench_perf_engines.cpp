@@ -6,6 +6,7 @@
 #include "analysis/monte_carlo.hpp"
 #include "dsm/adc.hpp"
 #include "dsm/modulator.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/result_cache.hpp"
 #include "dsp/fft.hpp"
@@ -324,7 +325,11 @@ double time_ms(int kind, const std::function<std::size_t()>& run,
   return best;
 }
 
-int run_quick(const std::string& out_path) {
+int run_quick(const std::string& out_path, bool telemetry) {
+  if (telemetry) {
+    si::obs::set_enabled(true);
+    si::obs::reset();
+  }
   std::vector<QuickRow> rows;
   for (int stages : {2, 4, 8}) {
     QuickRow r;
@@ -355,7 +360,13 @@ int run_quick(const std::string& out_path) {
        << ", \"speedup\": " << r.dense_ms / r.sparse_ms << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (telemetry) {
+    // Merge the solver telemetry snapshot: factor/refactor counts,
+    // fallback engagements, step stats for the whole quick suite.
+    os << ",\n  \"telemetry\": " << si::obs::snapshot_json();
+  }
+  os << "\n}\n";
   os.close();
 
   int rc = 0;
@@ -373,6 +384,20 @@ int run_quick(const std::string& out_path) {
                  gate.sparse_ms, gate.dense_ms, gate.size);
     rc = 1;
   }
+  if (telemetry) {
+    std::fputs(si::obs::snapshot_table().c_str(), stdout);
+    // Gate: the parity workloads stamp inside the discovered pattern by
+    // contract, so any dense-fallback engagement is a regression.
+    const std::uint64_t fallbacks =
+        si::obs::counter("mna.dense_fallback_engaged").value();
+    if (fallbacks > 0) {
+      std::fprintf(stderr,
+                   "FAIL: dense fallback engaged %llu time(s) on the parity "
+                   "suite (stamp-pattern contract violated)\n",
+                   static_cast<unsigned long long>(fallbacks));
+      rc = 1;
+    }
+  }
   std::printf("wrote %s\n", out_path.c_str());
   return rc;
 }
@@ -382,14 +407,18 @@ int run_quick(const std::string& out_path) {
 int main(int argc, char** argv) {
   std::string out = "BENCH_solvers.json";
   bool quick = false;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
   }
-  if (quick) return run_quick(out);
+  if (quick) return run_quick(out, telemetry);
+  if (telemetry) si::obs::set_enabled(true);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (telemetry) std::fputs(si::obs::snapshot_table().c_str(), stdout);
   return 0;
 }

@@ -1,0 +1,162 @@
+// sim_stats: run the paper's two transistor-level workloads (Table 1
+// delay-line chain, Table 2 modulator core) with solver telemetry
+// enabled and report what the engines actually did — Newton iterations,
+// factorizations vs symbolic reuses, re-pivot and fallback events, step
+// accept/reject/clamp statistics — as a table or JSON.
+//
+//   sim_stats [--json] [--stages=N] [--sections=N] [--periods=P]
+//             [--adaptive] [--solver=dense|sparse|auto]
+//
+// Exit status is nonzero when a run had to accept dt_min-clamped steps
+// above lte_tol (adaptive mode) or engaged the dense fallback, so
+// scripted sweeps can detect degraded runs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "si/netlists.hpp"
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::spice;
+namespace nets = si::cells::netlists;
+
+struct RunSummary {
+  std::string workload;
+  std::size_t unknowns = 0;
+  std::size_t points = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t clamped = 0;
+};
+
+RunSummary run_delay_line(int stages, double periods, bool adaptive) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::DelayStageOptions opt;
+  const auto h = nets::build_delay_line_chain(c, stages, opt, "dl_");
+  const double T = opt.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iin", c.ground(), h.in,
+      std::make_unique<SineWave>(0.0, 5e-6, 1.0 / (8.0 * T)));
+  TransientOptions topt;
+  topt.t_stop = periods * T;
+  topt.dt = T / 200.0;
+  topt.adaptive = adaptive;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out));
+  const auto r = tr.run();
+  return {"table1_delay_line", c.system_size(), r.time.size(),
+          r.steps_accepted,   r.steps_rejected, r.lte_clamped_steps};
+}
+
+RunSummary run_modulator(int sections, double periods, bool adaptive) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::ModulatorCoreOptions opt;
+  const auto h = nets::build_modulator_core(c, sections, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iinp", c.ground(), h.in_p,
+      std::make_unique<SineWave>(0.0, 4e-6, 1.0 / (8.0 * T)));
+  c.add<CurrentSource>(
+      "Iinm", c.ground(), h.in_m,
+      std::make_unique<SineWave>(0.0, -4e-6, 1.0 / (8.0 * T)));
+  TransientOptions topt;
+  topt.t_stop = periods * T;
+  topt.dt = T / 200.0;
+  topt.adaptive = adaptive;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out_p));
+  const auto r = tr.run();
+  return {"table2_modulator", c.system_size(), r.time.size(),
+          r.steps_accepted,  r.steps_rejected, r.lte_clamped_steps};
+}
+
+void print_summary(const RunSummary& s) {
+  std::printf(
+      "%-18s unknowns=%-4zu points=%-6zu accepted=%llu rejected=%llu "
+      "lte_clamped=%llu\n",
+      s.workload.c_str(), s.unknowns, s.points,
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.clamped));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool adaptive = false;
+  int stages = 4;
+  int sections = 2;
+  double periods = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--adaptive") == 0) adaptive = true;
+    else if (std::strncmp(argv[i], "--stages=", 9) == 0)
+      stages = std::atoi(argv[i] + 9);
+    else if (std::strncmp(argv[i], "--sections=", 11) == 0)
+      sections = std::atoi(argv[i] + 11);
+    else if (std::strncmp(argv[i], "--periods=", 10) == 0)
+      periods = std::atof(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--solver=", 9) == 0)
+      setenv("SI_SOLVER", argv[i] + 9, 1);
+    else {
+      std::fprintf(stderr,
+                   "usage: sim_stats [--json] [--adaptive] [--stages=N] "
+                   "[--sections=N] [--periods=P] [--solver=dense|sparse|auto]\n");
+      return 2;
+    }
+  }
+  if (stages < 1 || sections < 1 || periods <= 0.0) {
+    std::fprintf(stderr, "sim_stats: stages/sections must be >= 1, periods > 0\n");
+    return 2;
+  }
+
+  si::obs::set_enabled(true);
+  si::obs::reset();
+
+  const RunSummary dl = run_delay_line(stages, periods, adaptive);
+  const RunSummary mod = run_modulator(sections, periods, adaptive);
+
+  if (json) {
+    std::printf("{\"runs\": [");
+    bool first = true;
+    for (const auto* s : {&dl, &mod}) {
+      std::printf(
+          "%s{\"workload\": \"%s\", \"unknowns\": %zu, \"points\": %zu, "
+          "\"steps_accepted\": %llu, \"steps_rejected\": %llu, "
+          "\"lte_clamped_steps\": %llu}",
+          first ? "" : ", ", s->workload.c_str(), s->unknowns, s->points,
+          static_cast<unsigned long long>(s->accepted),
+          static_cast<unsigned long long>(s->rejected),
+          static_cast<unsigned long long>(s->clamped));
+      first = false;
+    }
+    std::printf("], \"telemetry\": %s}\n", si::obs::snapshot_json().c_str());
+  } else {
+    print_summary(dl);
+    print_summary(mod);
+    std::fputs(si::obs::snapshot_table().c_str(), stdout);
+  }
+
+  const std::uint64_t fallbacks =
+      si::obs::counter("mna.dense_fallback_engaged").value();
+  const std::uint64_t clamped = dl.clamped + mod.clamped;
+  if (fallbacks > 0 || clamped > 0) {
+    std::fprintf(stderr,
+                 "sim_stats: degraded run — dense_fallback_engaged=%llu, "
+                 "lte_clamped_steps=%llu\n",
+                 static_cast<unsigned long long>(fallbacks),
+                 static_cast<unsigned long long>(clamped));
+    return 1;
+  }
+  return 0;
+}

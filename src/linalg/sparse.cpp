@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
+
 namespace si::linalg {
 
 namespace {
@@ -271,6 +273,10 @@ void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
     const T d = work_[i];
     if (std::abs(d) < tol) {
       factored_ = false;
+      // Local static so the hot numeric path never touches the registry
+      // lock; the MNA engine re-pivots (or goes dense) on this signal.
+      static obs::Counter& drift = obs::counter("linalg.pivot_drift");
+      drift.add();
       throw PivotDriftError(i);
     }
     diag_inv_[i] = T{1} / d;
@@ -282,6 +288,8 @@ void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
 
 template <typename T>
 void SparseLu<T>::factor(const SparseMatrix<T>& a) {
+  static obs::Timer& t = obs::timer("linalg.sparse.factor");
+  obs::ScopedTimer timed(t);
   build_symbolic(a);  // throws SingularMatrixError on singular input
   try {
     refactor_values(a);
@@ -298,6 +306,8 @@ void SparseLu<T>::refactor(const SparseMatrix<T>& a) {
     factor(a);
     return;
   }
+  static obs::Timer& t = obs::timer("linalg.sparse.refactor");
+  obs::ScopedTimer timed(t);
   refactor_values(a);
 }
 

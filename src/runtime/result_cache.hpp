@@ -17,7 +17,22 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace si::runtime {
+
+/// Process-wide telemetry for every ResultCache instance, unifying the
+/// per-cache CacheStats counters under the obs registry.
+struct CacheTelemetry {
+  obs::Counter& hits = obs::counter("runtime.cache_hits");
+  obs::Counter& misses = obs::counter("runtime.cache_misses");
+  obs::Counter& evictions = obs::counter("runtime.cache_evictions");
+
+  static CacheTelemetry& get() {
+    static CacheTelemetry t;
+    return t;
+  }
+};
 
 /// Incremental 64-bit FNV-1a hasher for composing cache keys.
 class Fnv1a {
@@ -61,10 +76,12 @@ class ResultCache {
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
+      CacheTelemetry::get().misses.add();
       return std::nullopt;
     }
     lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
     ++stats_.hits;
+    CacheTelemetry::get().hits.add();
     return it->second->second;
   }
 
@@ -82,6 +99,7 @@ class ResultCache {
       index_.erase(lru_.back().first);
       lru_.pop_back();
       ++stats_.evictions;
+      CacheTelemetry::get().evictions.add();
     }
   }
 

@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace si::runtime {
 
 namespace {
@@ -70,6 +72,8 @@ bool ThreadPool::try_pop_or_steal(unsigned self, Task& out) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      static obs::Counter& steals = obs::counter("runtime.pool_steals");
+      steals.add();
       return true;
     }
   }
@@ -82,6 +86,8 @@ void ThreadPool::worker_loop(unsigned index) {
   for (;;) {
     Task task;
     if (try_pop_or_steal(index, task)) {
+      static obs::Counter& tasks = obs::counter("runtime.pool_tasks");
+      tasks.add();
       task();
       continue;
     }

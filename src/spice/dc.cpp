@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "erc/check.hpp"
+#include "obs/telemetry.hpp"
 #include "spice/mna.hpp"
 
 namespace si::spice {
@@ -41,6 +42,7 @@ DcResult dc_operating_point(Circuit& c, MnaEngine& engine,
   if (!solved) {
     // gmin stepping: solve an easier (leaky) circuit first and walk the
     // leak down in decades, warm-starting each solve.
+    obs::counter("dc.gmin_ladder_engaged").add();
     x.assign(c.system_size(), 0.0);
     double g = opt.gmin_start;
     while (true) {

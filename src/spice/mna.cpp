@@ -5,7 +5,33 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace si::spice {
+
+namespace {
+
+/// Engine-level telemetry handles, registered once and hoisted so the
+/// Newton hot loop records through preallocated atomics only.
+struct MnaTelemetry {
+  obs::Counter& newton_solves = obs::counter("mna.newton_solves");
+  obs::Counter& newton_iterations = obs::counter("mna.newton_iterations");
+  obs::Counter& pattern_builds = obs::counter("mna.pattern_builds");
+  obs::Counter& symbolic_factors = obs::counter("mna.symbolic_factors");
+  obs::Counter& numeric_refactors = obs::counter("mna.numeric_refactors");
+  obs::Counter& dense_factors = obs::counter("mna.dense_factors");
+  obs::Counter& pivot_repivots = obs::counter("mna.pivot_repivots");
+  obs::Counter& dense_fallbacks = obs::counter("mna.dense_fallback_engaged");
+  obs::Counter& singular_retries = obs::counter("mna.singular_matrix");
+  obs::Timer& newton_time = obs::timer("mna.newton");
+
+  static MnaTelemetry& get() {
+    static MnaTelemetry t;
+    return t;
+  }
+};
+
+}  // namespace
 
 SolverKind solver_kind_from_env() {
   const char* v = std::getenv("SI_SOLVER");
@@ -32,6 +58,12 @@ void MnaEngine::prepare(const StampContext& ctx) {
   Circuit& c = *circuit_;
   c.finalize();
   if (prepared_ && revision_ == c.revision()) return;
+  // A sticky dense fallback records a stamp-pattern contract violation
+  // for ONE topology.  An edit (revision bump) rebuilds the pattern, so
+  // the new topology gets a fresh sparse attempt — without this reset a
+  // single pattern miss used to pin the circuit to the dense solver
+  // across every later edit.
+  if (revision_ != c.revision()) dense_fallback_ = false;
   revision_ = c.revision();
   prepared_ = true;
   ++stats_.workspace_allocs;
@@ -75,6 +107,7 @@ void MnaEngine::prepare(const StampContext& ctx) {
   for (const auto& e : c.elements()) e->stamp(r, probe);
   pattern_ = rec.build(/*symmetrize=*/true);
   ++stats_.pattern_builds;
+  MnaTelemetry::get().pattern_builds.add();
   a0_sparse_ = linalg::SparseMatrixD(pattern_);
   a_sparse_ = linalg::SparseMatrixD(pattern_);
   lu_ = linalg::SparseLuD();  // drop the stale symbolic factorization
@@ -130,25 +163,31 @@ void MnaEngine::assemble_iteration(const StampContext& ctx,
 
 void MnaEngine::solve_dense() {
   ++stats_.dense_factors;
+  MnaTelemetry::get().dense_factors.add();
   linalg::lu_factor_in_place(a_dense_, perm_);
   linalg::lu_solve_in_place(a_dense_, perm_, b_, x_new_);
 }
 
 void MnaEngine::solve_sparse() {
+  MnaTelemetry& tm = MnaTelemetry::get();
   if (!lu_warm_) {
     lu_.factor(a_sparse_);
     lu_warm_ = true;
     ++stats_.symbolic_factors;
+    tm.symbolic_factors.add();
   } else {
     try {
       lu_.refactor(a_sparse_);
       ++stats_.numeric_refactors;
+      tm.numeric_refactors.add();
     } catch (const linalg::PivotDriftError&) {
       // Operating point drifted past the frozen pivot choice: redo the
       // pivoting factorization once and carry on with the new order.
       lu_.factor(a_sparse_);
       ++stats_.symbolic_factors;
       ++stats_.pivot_repivots;
+      tm.symbolic_factors.add();
+      tm.pivot_repivots.add();
     }
   }
   lu_.solve(b_, x_new_);
@@ -156,6 +195,10 @@ void MnaEngine::solve_sparse() {
 
 int MnaEngine::newton(const StampContext& ctx, linalg::Vector& x,
                       const NewtonOptions& opt, double extra_gdiag) {
+  MnaTelemetry& tm = MnaTelemetry::get();
+  obs::TraceSpan span("mna.newton");
+  obs::ScopedTimer timed(tm.newton_time);
+  tm.newton_solves.add();
   for (int attempt = 0; attempt < 2; ++attempt) {
     prepare(ctx);
     const std::size_t n = circuit_->system_size();
@@ -167,12 +210,14 @@ int MnaEngine::newton(const StampContext& ctx, linalg::Vector& x,
 
       for (int it = 1; it <= opt.max_iterations; ++it) {
         assemble_iteration(ctx, x);
+        tm.newton_iterations.add();
         try {
           if (active_ == SolverKind::kDense)
             solve_dense();
           else
             solve_sparse();
         } catch (const linalg::SingularMatrixError& e) {
+          tm.singular_retries.add();
           throw ConvergenceError(std::string("singular MNA matrix: ") +
                                  e.what());
         }
@@ -203,9 +248,12 @@ int MnaEngine::newton(const StampContext& ctx, linalg::Vector& x,
                              " iterations");
     } catch (const linalg::PatternMissError&) {
       // An element stamped outside the discovered pattern (stamp-pattern
-      // contract violation): fall back to the dense path for good.
+      // contract violation): fall back to the dense path until the next
+      // topology edit (prepare() clears the flag on a revision change).
       dense_fallback_ = true;
       prepared_ = false;
+      ++stats_.dense_fallbacks;
+      tm.dense_fallbacks.add();
     }
   }
   throw ConvergenceError("MNA engine: dense fallback failed to engage");
@@ -220,6 +268,9 @@ void AcEngine::prepare() {
   Circuit& c = *circuit_;
   c.finalize();
   if (prepared_ && revision_ == c.revision()) return;
+  // Same reset as MnaEngine::prepare(): the fallback is only sticky
+  // within one topology revision.
+  if (revision_ != c.revision()) dense_fallback_ = false;
   revision_ = c.revision();
   prepared_ = true;
   ++stats_.workspace_allocs;
@@ -245,11 +296,14 @@ void AcEngine::prepare() {
   for (const auto& e : c.elements()) e->stamp_ac(r, 1.0);
   pattern_ = rec.build(/*symmetrize=*/true);
   ++stats_.pattern_builds;
+  MnaTelemetry::get().pattern_builds.add();
   a_sparse_ = linalg::SparseMatrixZ(pattern_);
   lu_ = linalg::SparseLuZ();
 }
 
 void AcEngine::assemble(double omega) {
+  MnaTelemetry& tm = MnaTelemetry::get();
+  obs::TraceSpan span("ac.assemble");
   for (int attempt = 0; attempt < 2; ++attempt) {
     prepare();
     Circuit& c = *circuit_;
@@ -260,6 +314,7 @@ void AcEngine::assemble(double omega) {
         ComplexStamper s(c, a_dense_, b_);
         for (const auto& e : c.elements()) e->stamp_ac(s, omega);
         ++stats_.dense_factors;
+        tm.dense_factors.add();
         linalg::lu_factor_in_place(a_dense_, perm_);
       } else {
         a_sparse_.set_zero();
@@ -274,14 +329,18 @@ void AcEngine::assemble(double omega) {
           lu_.factor(a_sparse_);
           lu_warm_ = true;
           ++stats_.symbolic_factors;
+          tm.symbolic_factors.add();
         } else {
           try {
             lu_.refactor(a_sparse_);
             ++stats_.numeric_refactors;
+            tm.numeric_refactors.add();
           } catch (const linalg::PivotDriftError&) {
             lu_.factor(a_sparse_);
             ++stats_.symbolic_factors;
             ++stats_.pivot_repivots;
+            tm.symbolic_factors.add();
+            tm.pivot_repivots.add();
           }
         }
       }
@@ -289,6 +348,8 @@ void AcEngine::assemble(double omega) {
     } catch (const linalg::PatternMissError&) {
       dense_fallback_ = true;
       prepared_ = false;
+      ++stats_.dense_fallbacks;
+      tm.dense_fallbacks.add();
     }
   }
 }

@@ -53,6 +53,7 @@ struct MnaStats {
   std::uint64_t nonlinear_stamps = 0;   ///< per-iteration device restamps
   std::uint64_t workspace_allocs = 0;   ///< workspace (re)allocations
   std::uint64_t pivot_repivots = 0;     ///< refactors rescued by re-pivoting
+  std::uint64_t dense_fallbacks = 0;    ///< pattern-miss dense engagements
 };
 
 /// Real-valued MNA engine: damped Newton solves for DC and transient.

@@ -1,13 +1,34 @@
 #include "spice/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "erc/check.hpp"
+#include "obs/telemetry.hpp"
 #include "spice/elements.hpp"
 #include "spice/mna.hpp"
 
 namespace si::spice {
+
+namespace {
+
+/// Transient telemetry handles, hoisted once so the step loop records
+/// through preallocated atomics only.
+struct TransientTelemetry {
+  obs::Counter& steps_accepted = obs::counter("transient.steps_accepted");
+  obs::Counter& steps_rejected = obs::counter("transient.steps_rejected");
+  obs::Counter& lte_clamped = obs::counter("transient.lte_clamped");
+  obs::Counter& runs = obs::counter("transient.runs");
+  obs::Histogram& dt_hist = obs::histogram("transient.dt");
+
+  static TransientTelemetry& get() {
+    static TransientTelemetry t;
+    return t;
+  }
+};
+
+}  // namespace
 
 const std::vector<double>& TransientResult::signal(
     const std::string& name) const {
@@ -43,15 +64,46 @@ TransientResult Transient::run(
   if (opt_.erc_gate) erc::enforce(c);
   c.finalize();
 
-  // Resolve probes up front.
+  TransientTelemetry& tm = TransientTelemetry::get();
+  obs::TraceSpan run_span("transient.run");
+  tm.runs.add();
+
+  // Resolve probes up front, deduplicating repeats: a node (or source)
+  // probed twice must collapse to ONE sink — two sinks feeding the same
+  // result.signals vector would interleave doubled samples.  A label
+  // that resolves to two different targets is a genuine collision and
+  // is rejected instead.
   std::vector<std::pair<std::string, NodeId>> v_probes;
-  for (const auto& n : voltage_probes_) v_probes.emplace_back("v(" + n + ")", c.node(n));
+  for (const auto& n : voltage_probes_) {
+    const std::string label = "v(" + n + ")";
+    const NodeId node = c.node(n);
+    const auto it =
+        std::find_if(v_probes.begin(), v_probes.end(),
+                     [&](const auto& p) { return p.first == label; });
+    if (it != v_probes.end()) {
+      if (it->second != node)
+        throw std::invalid_argument("Transient: probe label collision on " +
+                                    label);
+      continue;
+    }
+    v_probes.emplace_back(label, node);
+  }
   std::vector<std::pair<std::string, const VoltageSource*>> i_probes;
   for (const auto& n : current_probes_) {
     const auto* vs = dynamic_cast<const VoltageSource*>(c.find(n));
     if (!vs)
       throw std::invalid_argument("Transient: no voltage source named " + n);
-    i_probes.emplace_back("i(" + n + ")", vs);
+    const std::string label = "i(" + n + ")";
+    const auto it =
+        std::find_if(i_probes.begin(), i_probes.end(),
+                     [&](const auto& p) { return p.first == label; });
+    if (it != i_probes.end()) {
+      if (it->second != vs)
+        throw std::invalid_argument("Transient: probe label collision on " +
+                                    label);
+      continue;
+    }
+    i_probes.emplace_back(label, vs);
   }
 
   // One engine for the whole run (DC operating point included): the
@@ -79,8 +131,18 @@ TransientResult Transient::run(
     for (const auto& e : c.elements()) e->accept(sol, ctx0);
   }
 
-  const auto steps = static_cast<std::size_t>(
-      std::llround(opt_.t_stop / opt_.dt));
+  // Fixed grid: full_steps whole dt intervals plus, when t_stop is not
+  // an integer multiple of dt, one exact partial step — the old
+  // llround() grid silently overshot (rounding up) or truncated
+  // (rounding down) so result.time.back() missed t_stop.  The 1e-12
+  // slack absorbs last-ulp ratio noise; a remainder below 1e-9*dt is
+  // treated as an exact multiple rather than a denormal final step.
+  const double ratio = opt_.t_stop / opt_.dt;
+  const auto full_steps = static_cast<std::size_t>(ratio * (1.0 + 1e-12));
+  double remainder =
+      opt_.t_stop - static_cast<double>(full_steps) * opt_.dt;
+  if (remainder <= 1e-9 * opt_.dt) remainder = 0.0;
+  const std::size_t steps = full_steps + (remainder > 0.0 ? 1 : 0);
 
   TransientResult result;
   result.time.reserve(steps + 1);
@@ -123,11 +185,16 @@ TransientResult Transient::run(
 
   if (!opt_.adaptive) {
     for (std::size_t k = 1; k <= steps; ++k) {
-      ctx.time = static_cast<double>(k) * opt_.dt;
+      const bool last = k == steps;
+      if (last && remainder > 0.0) ctx.dt = remainder;  // exact final step
+      ctx.time = last ? opt_.t_stop : static_cast<double>(k) * opt_.dt;
       engine.newton(ctx, x, opt_.newton);
       SolutionView sol(c, x);
       for (const auto& e : c.elements()) e->accept(sol, ctx);
       record(ctx.time, sol);
+      ++result.steps_accepted;
+      tm.steps_accepted.add();
+      tm.dt_hist.record(ctx.dt);
     }
     return result;
   }
@@ -143,7 +210,9 @@ TransientResult Transient::run(
   linalg::Vector x_be;
   while (t < opt_.t_stop - 1e-18 * opt_.t_stop) {
     dt = std::min(dt, opt_.t_stop - t);
-    ctx.time = t + dt;
+    // When the remaining window is what clamped dt this is the final
+    // step: pin it to t_stop exactly instead of t + dt's rounded sum.
+    ctx.time = (opt_.t_stop - t) <= dt ? opt_.t_stop : t + dt;
     ctx.dt = dt;
 
     ctx.integrator = Integrator::kTrapezoidal;
@@ -162,7 +231,16 @@ TransientResult Transient::run(
 
     if (err > opt_.lte_tol && dt > dt_min * 1.0001) {
       dt = std::max(0.5 * dt, dt_min);
+      ++result.steps_rejected;
+      tm.steps_rejected.add();
       continue;  // reject and retry with a smaller step
+    }
+    if (err > opt_.lte_tol) {
+      // dt already at dt_min: the step is accepted anyway, so the
+      // requested accuracy was NOT met here.  Report it instead of
+      // recovering silently.
+      ++result.lte_clamped_steps;
+      tm.lte_clamped.add();
     }
     // Accept the (more accurate) trapezoidal solution.
     x = x_trap;
@@ -171,6 +249,9 @@ TransientResult Transient::run(
     for (const auto& e : c.elements()) e->accept(sol, ctx);
     t = ctx.time;
     record(t, sol);
+    ++result.steps_accepted;
+    tm.steps_accepted.add();
+    tm.dt_hist.record(dt);
     if (err < 0.25 * opt_.lte_tol) dt = std::min(2.0 * dt, dt_max);
   }
   return result;

@@ -3,6 +3,7 @@
 // the clock edges is simpler and more predictable than adaptive stepping.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -33,10 +34,20 @@ struct TransientOptions {
   double dt_max = 0.0;    ///< defaults to dt * 16
 };
 
-/// Recorded waveforms: time base plus one sample vector per probe.
+/// Recorded waveforms: time base plus one sample vector per probe,
+/// with per-run stepping statistics so degraded-accuracy recoveries
+/// (dt_min-clamped steps that still violate lte_tol) are visible to
+/// callers instead of silent.
 struct TransientResult {
   std::vector<double> time;
   std::map<std::string, std::vector<double>> signals;
+
+  std::uint64_t steps_accepted = 0;  ///< solved steps kept (excl. t = 0)
+  std::uint64_t steps_rejected = 0;  ///< adaptive retries at smaller dt
+  /// Steps accepted at dt_min whose trap-vs-BE error still exceeded
+  /// lte_tol: nonzero means the requested accuracy was NOT met and the
+  /// result is locally degraded.
+  std::uint64_t lte_clamped_steps = 0;
 
   const std::vector<double>& signal(const std::string& name) const;
 };

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "si/netlists.hpp"
 #include "spice/dc.hpp"
 #include "spice/mna.hpp"
@@ -180,6 +181,96 @@ TEST(MnaEngine, PatternCacheInvalidatedOnCircuitEdit) {
   dense.newton(ctx, xr, nopt);
   ASSERT_EQ(x.size(), xr.size());
   for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], xr[i], 1e-12);
+}
+
+/// Deliberately violates the stamp-pattern contract: bridges its two
+/// nodes only once ctx.time reaches t_on, so pattern discovery before
+/// t_on never sees the (a, b) coordinates and the first post-t_on stamp
+/// raises PatternMissError.
+class LatePathElement : public Element {
+ public:
+  LatePathElement(std::string name, NodeId a, NodeId b, double t_on)
+      : Element(std::move(name)), a_(a), b_(b), t_on_(t_on) {}
+
+  std::vector<Terminal> terminals() const override {
+    return {{a_, "p", false}, {b_, "m", false}};
+  }
+
+  void stamp(RealStamper& s, const StampContext& ctx) override {
+    if (ctx.mode == AnalysisMode::kTransient && ctx.time >= t_on_)
+      s.conductance(a_, b_, 1e-3);
+  }
+
+ private:
+  NodeId a_, b_;
+  double t_on_;
+};
+
+TEST(MnaEngine, DenseFallbackIsStickyPerTopologyAndResetsOnEdit) {
+  si::obs::set_enabled(true);
+#if SI_OBS_ENABLED
+  si::obs::Counter& engaged = si::obs::counter("mna.dense_fallback_engaged");
+  const std::uint64_t engaged_before = engaged.value();
+#endif
+
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId d = c.node("d");
+  c.add<VoltageSource>("V1", a, c.ground(), 1.0);
+  c.add<Resistor>("R1", a, b, 1e3);
+  c.add<Resistor>("R2", b, c.ground(), 1e3);
+  c.add<Resistor>("R3", d, c.ground(), 1e3);
+  c.add<LatePathElement>("X1", b, d, /*t_on=*/0.5);
+  c.finalize();
+
+  MnaEngine engine(c, SolverKind::kSparse);
+  NewtonOptions nopt;
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.dt = 1e-3;
+  si::linalg::Vector x;
+
+  // Before t_on the discovered pattern is complete: sparse, no fallback.
+  ctx.time = 1e-3;
+  engine.newton(ctx, x, nopt);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kSparse);
+  EXPECT_EQ(engine.stats().dense_fallbacks, 0u);
+  EXPECT_NEAR(x[b - 1], 0.5, 1e-6);
+
+  // Crossing t_on stamps outside the frozen pattern: the solve still
+  // succeeds (dense rescue) and the engagement is counted, not silent.
+  ctx.time = 1.0;
+  engine.newton(ctx, x, nopt);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kDense);
+  EXPECT_EQ(engine.stats().dense_fallbacks, 1u);
+#if SI_OBS_ENABLED
+  EXPECT_EQ(engaged.value(), engaged_before + 1);
+#endif
+  // b now loaded by R2 || (1k bridge + R3) = 1k || 2k.
+  EXPECT_NEAR(x[b - 1], 0.4, 1e-6);
+
+  // Same topology: the fallback is sticky — no sparse retry per solve.
+  ctx.time = 1.1;
+  engine.newton(ctx, x, nopt);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kDense);
+  EXPECT_EQ(engine.stats().dense_fallbacks, 1u);
+
+  // Edit the circuit (revision bump): the fallback must clear and the
+  // rebuilt pattern — discovered at a post-t_on time — works sparsely.
+  // This used to pin the engine to the dense solver forever.
+  c.add<Resistor>("R4", d, c.ground(), 1e6);
+  c.finalize();
+  ctx.time = 1.2;
+  engine.newton(ctx, x, nopt);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kSparse);
+  EXPECT_EQ(engine.stats().dense_fallbacks, 1u);
+#if SI_OBS_ENABLED
+  EXPECT_EQ(engaged.value(), engaged_before + 1);
+#endif
+  EXPECT_NEAR(x[b - 1], 0.4, 1e-3);  // R4 = 1M barely loads node d
+
+  si::obs::set_enabled(false);
 }
 
 TEST(MnaEngine, AutoPicksSparseForLargeNetlists) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/telemetry.hpp"
 #include "spice/circuit.hpp"
 #include "spice/elements.hpp"
 #include "spice/transient.hpp"
@@ -100,6 +101,60 @@ TEST(AdaptiveTransient, RespectsTStopExactly) {
   Transient tr(c, opt);
   const auto res = tr.run();
   EXPECT_NEAR(res.time.back(), 1e-3, 1e-12);
+}
+
+TEST(AdaptiveTransient, AccurateRunReportsNoClampedSteps) {
+  Circuit c;
+  build_rc(c);
+  TransientOptions opt;
+  opt.t_stop = 1e-3;
+  opt.dt = 10e-6;
+  opt.adaptive = true;
+  opt.lte_tol = 1e-4;  // easily met by the stepper
+  Transient tr(c, opt);
+  const auto res = tr.run();
+  EXPECT_GT(res.steps_accepted, 0u);
+  EXPECT_EQ(res.lte_clamped_steps, 0u);
+  EXPECT_EQ(res.steps_accepted, res.time.size() - 1);
+}
+
+TEST(AdaptiveTransient, DtMinClampedStepsAreReportedNotSilent) {
+  // An unreachable tolerance with dt pinned at dt_min forces the
+  // stepper to accept every step above lte_tol.  That used to happen
+  // silently; now each clamped accept is counted on the result (and the
+  // transient.lte_clamped telemetry counter).
+  si::obs::set_enabled(true);
+#if SI_OBS_ENABLED
+  si::obs::Counter& clamped = si::obs::counter("transient.lte_clamped");
+  const std::uint64_t clamped_before = clamped.value();
+#endif
+
+  Circuit c;
+  build_rc(c);
+  TransientOptions opt;
+  opt.t_stop = 1e-3;
+  opt.dt = 10e-6;
+  opt.dt_min = 10e-6;  // dt cannot shrink below its starting value
+  opt.adaptive = true;
+  opt.lte_tol = 1e-14;  // unreachable at this step size
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+
+  EXPECT_EQ(res.steps_rejected, 0u);  // nothing to retry: dt == dt_min
+  EXPECT_GT(res.lte_clamped_steps, 0u);
+  EXPECT_LE(res.lte_clamped_steps, res.steps_accepted);
+  EXPECT_EQ(res.steps_accepted, res.time.size() - 1);
+#if SI_OBS_ENABLED
+  EXPECT_EQ(clamped.value(), clamped_before + res.lte_clamped_steps);
+#endif
+  EXPECT_NEAR(res.time.back(), opt.t_stop, 1e-15);
+  // The clamped run is degraded, not wrong: the waveform still tracks
+  // the analytic response to trapezoidal accuracy.
+  EXPECT_NEAR(res.signal("v(out)").back(),
+              1.0 - std::exp(-opt.t_stop / 1e-3), 2e-3);
+
+  si::obs::set_enabled(false);
 }
 
 TEST(AdaptiveTransient, TighterToleranceMoreSteps) {

@@ -3,12 +3,18 @@
 // and workspaces), Newton iterations and transient steps perform zero
 // heap allocations.  Global operator new is instrumented; this test
 // must stay in its own binary.
+//
+// Telemetry is switched ON for every test here: recording (relaxed
+// atomic counters, the fixed-bin histogram, the preallocated span ring)
+// must not allocate either — only instrument registration may, and that
+// happens during warm-up.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
 #include <new>
 
+#include "obs/telemetry.hpp"
 #include "si/netlists.hpp"
 #include "spice/dc.hpp"
 #include "spice/mna.hpp"
@@ -44,6 +50,7 @@ DelayLineChainHandles build_fixture(Circuit& c) {
 }
 
 TEST(TransientAlloc, SparseNewtonLoopIsAllocationFreeAfterWarmup) {
+  si::obs::set_enabled(true);
   Circuit c;
   build_fixture(c);
   c.finalize();
@@ -83,6 +90,7 @@ TEST(TransientAlloc, SparseNewtonLoopIsAllocationFreeAfterWarmup) {
 }
 
 TEST(TransientAlloc, DenseNewtonLoopIsAllocationFreeAfterWarmup) {
+  si::obs::set_enabled(true);
   Circuit c;
   build_fixture(c);
   c.finalize();
@@ -108,6 +116,7 @@ TEST(TransientAlloc, DenseNewtonLoopIsAllocationFreeAfterWarmup) {
 TEST(TransientAlloc, TransientRunStepsAllocateOnlyDuringWarmup) {
   // Integrated check through Transient::run: probe recording, accept,
   // and the engine together must stop allocating once warm.
+  si::obs::set_enabled(true);
   Circuit c;
   const auto h = build_fixture(c);
 
