@@ -311,6 +311,107 @@ struct QuickRow {
   double sparse_ms = 0.0;
 };
 
+// ---------------------------------------------------------------------------
+// Event-vs-monolithic engine rows.  Two workload families:
+//  * event_modulator_sweep — the OSR-64 modulator (input sine at
+//    f_clk / 128) across sizes; the event engine must not lose to the
+//    monolithic engine and the waveforms must agree.
+//  * event_modulator_hold  — a long-horizon (>= 1e4 clock periods) DC-hold
+//    modulator transient, the latency-exploitation headline: once the
+//    periodic steady state is reached, re-sampled values match the held
+//    ones, blocks latch latent, and whole steps are skipped.
+// Both run with event_quiescent_tol = 1e-6, the documented latency-
+// exploitation setting (see DESIGN.md, "Block-latency contract").
+// ---------------------------------------------------------------------------
+
+struct EventRow {
+  std::string workload;
+  int size = 0;
+  double periods = 0.0;
+  std::size_t unknowns = 0;
+  double mono_ms = 0.0;
+  double event_ms = 0.0;
+  double latency_ratio = 0.0;
+  std::uint64_t steps_skipped = 0;
+  std::uint64_t steps_total = 0;
+  double parity_maxerr = 0.0;
+};
+
+si::spice::TransientResult run_modulator_engine(
+    int sections, double periods, bool dc_hold,
+    si::spice::TransientEngine engine, std::size_t* unknowns) {
+  namespace nets = si::cells::netlists;
+  si::spice::Circuit c;
+  c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::ModulatorCoreOptions opt;
+  const auto h = nets::build_modulator_core(c, sections, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  if (dc_hold) {
+    c.add<si::spice::CurrentSource>("Iinp", c.ground(), h.in_p, 1e-6);
+    c.add<si::spice::CurrentSource>("Iinm", c.ground(), h.in_m, -1e-6);
+  } else {
+    // OSR-64 stimulus: input sine at f_clk / (2 * 64).
+    c.add<si::spice::CurrentSource>(
+        "Iinp", c.ground(), h.in_p,
+        std::make_unique<si::spice::SineWave>(0.0, 4e-6, 1.0 / (128.0 * T)));
+    c.add<si::spice::CurrentSource>(
+        "Iinm", c.ground(), h.in_m,
+        std::make_unique<si::spice::SineWave>(0.0, -4e-6, 1.0 / (128.0 * T)));
+  }
+  si::spice::TransientOptions topt;
+  topt.t_stop = periods * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  topt.engine = engine;
+  topt.event_quiescent_tol = 1e-6;
+  si::spice::Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out_p));
+  tr.probe_voltage(c.node_name(h.out_m));
+  *unknowns = c.system_size();
+  return tr.run();
+}
+
+EventRow time_event_row(const std::string& workload, int sections,
+                        double periods, bool dc_hold, int reps) {
+  EventRow r;
+  r.workload = workload;
+  r.size = sections;
+  r.periods = periods;
+  si::spice::TransientResult mono, ev;
+  double best_m = 1e300;
+  double best_e = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    mono = run_modulator_engine(sections, periods, dc_hold,
+                                si::spice::TransientEngine::kMonolithic,
+                                &r.unknowns);
+    auto t1 = std::chrono::steady_clock::now();
+    ev = run_modulator_engine(sections, periods, dc_hold,
+                              si::spice::TransientEngine::kEvent, &r.unknowns);
+    auto t2 = std::chrono::steady_clock::now();
+    best_m = std::min(
+        best_m, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    best_e = std::min(
+        best_e, std::chrono::duration<double, std::milli>(t2 - t1).count());
+  }
+  r.mono_ms = best_m;
+  r.event_ms = best_e;
+  const double block_events =
+      static_cast<double>(ev.event_block_solves + ev.event_block_skips);
+  r.latency_ratio = block_events > 0.0
+                        ? static_cast<double>(ev.event_block_skips) /
+                              block_events
+                        : 0.0;
+  r.steps_skipped = ev.event_steps_skipped;
+  r.steps_total = mono.steps_accepted;
+  for (const auto& [label, mv] : mono.signals) {
+    const auto& evv = ev.signal(label);
+    for (std::size_t k = 0; k < mv.size(); ++k)
+      r.parity_maxerr = std::max(r.parity_maxerr, std::abs(mv[k] - evv[k]));
+  }
+  return r;
+}
+
 double time_ms(int kind, const std::function<std::size_t()>& run,
                std::size_t* unknowns) {
   SolverEnv env(kind);
@@ -325,7 +426,7 @@ double time_ms(int kind, const std::function<std::size_t()>& run,
   return best;
 }
 
-int run_quick(const std::string& out_path, bool telemetry) {
+int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
   if (telemetry) {
     si::obs::set_enabled(true);
     si::obs::reset();
@@ -350,6 +451,16 @@ int run_quick(const std::string& out_path, bool telemetry) {
     rows.push_back(r);
   }
 
+  // Event-engine rows: the OSR-64 sweep always runs; the 1e4-period
+  // DC-hold headline only with --long (it takes tens of seconds).
+  std::vector<EventRow> event_rows;
+  for (int sections : {2, 4, 8})
+    event_rows.push_back(time_event_row("event_modulator_sweep", sections,
+                                        20.0, /*dc_hold=*/false, /*reps=*/2));
+  if (long_horizon)
+    event_rows.push_back(time_event_row("event_modulator_hold", 4, 10000.0,
+                                        /*dc_hold=*/true, /*reps=*/1));
+
   std::ofstream os(out_path);
   os << "{\n  \"solver_bench\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -359,6 +470,20 @@ int run_quick(const std::string& out_path, bool telemetry) {
        << ", \"sparse_ms\": " << r.sparse_ms
        << ", \"speedup\": " << r.dense_ms / r.sparse_ms << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"event_bench\": [\n";
+  for (std::size_t i = 0; i < event_rows.size(); ++i) {
+    const auto& r = event_rows[i];
+    os << "    {\"workload\": \"" << r.workload << "\", \"size\": " << r.size
+       << ", \"periods\": " << r.periods << ", \"unknowns\": " << r.unknowns
+       << ", \"quiescent_tol\": 1e-06, \"mono_ms\": " << r.mono_ms
+       << ", \"event_ms\": " << r.event_ms
+       << ", \"speedup\": " << r.mono_ms / r.event_ms
+       << ", \"latency_ratio\": " << r.latency_ratio
+       << ", \"steps_skipped\": " << r.steps_skipped
+       << ", \"steps_total\": " << r.steps_total
+       << ", \"parity_maxerr\": " << r.parity_maxerr << "}"
+       << (i + 1 < event_rows.size() ? "," : "") << "\n";
   }
   os << "  ]";
   if (telemetry) {
@@ -382,6 +507,47 @@ int run_quick(const std::string& out_path, bool telemetry) {
                  "FAIL: sparse (%.2f ms) slower than dense (%.2f ms) on "
                  "table2_modulator size=%d\n",
                  gate.sparse_ms, gate.dense_ms, gate.size);
+    rc = 1;
+  }
+  double sweep_mono_ms = 0.0;
+  double sweep_event_ms = 0.0;
+  for (const auto& r : event_rows) {
+    std::printf(
+        "%-22s size=%d periods=%g mono=%.2fms event=%.2fms speedup=%.2fx "
+        "latency=%.2f skipped=%llu/%llu maxerr=%.2e\n",
+        r.workload.c_str(), r.size, r.periods, r.mono_ms, r.event_ms,
+        r.mono_ms / r.event_ms, r.latency_ratio,
+        static_cast<unsigned long long>(r.steps_skipped),
+        static_cast<unsigned long long>(r.steps_total), r.parity_maxerr);
+    // Gates: the event engine must not lose to the monolithic engine
+    // over the OSR-64 sweep, waveforms must agree to well under a
+    // microvolt on every row, and the long-horizon hold run must
+    // demonstrate at least the 5x latency-exploitation speedup.
+    if (r.workload == "event_modulator_sweep") {
+      sweep_mono_ms += r.mono_ms;
+      sweep_event_ms += r.event_ms;
+    }
+    if (r.parity_maxerr > 1e-5) {
+      std::fprintf(stderr,
+                   "FAIL: event/monolithic parity diverged (maxerr=%.3e) on "
+                   "%s size=%d\n",
+                   r.parity_maxerr, r.workload.c_str(), r.size);
+      rc = 1;
+    }
+    if (r.workload == "event_modulator_hold" &&
+        r.mono_ms < 5.0 * r.event_ms) {
+      std::fprintf(stderr,
+                   "FAIL: long-horizon hold speedup %.2fx below the 5x "
+                   "latency-exploitation target\n",
+                   r.mono_ms / r.event_ms);
+      rc = 1;
+    }
+  }
+  if (sweep_event_ms > sweep_mono_ms) {
+    std::fprintf(stderr,
+                 "FAIL: event engine (%.2f ms) slower than monolithic "
+                 "(%.2f ms) over the OSR-64 modulator sweep\n",
+                 sweep_event_ms, sweep_mono_ms);
     rc = 1;
   }
   if (telemetry) {
@@ -408,12 +574,14 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_solvers.json";
   bool quick = false;
   bool telemetry = false;
+  bool long_horizon = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
+    if (std::strcmp(argv[i], "--long") == 0) long_horizon = true;
   }
-  if (quick) return run_quick(out, telemetry);
+  if (quick) return run_quick(out, telemetry, long_horizon);
   if (telemetry) si::obs::set_enabled(true);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,50 @@
+// Event-driven multi-rate transient engine.
+//
+// Runs the SAME fixed time grid as the monolithic spice::Transient but
+// solves, at each step, only the partition blocks that are active: a
+// block is re-excited by stimulus events (waveform breakpoints from the
+// discrete-event queue, sampled-value changes) and by closed boundary
+// switches into other active blocks, and goes latent again after its
+// per-step solution change stays below the quiescence tolerance for a
+// number of consecutive solved steps.  Latent blocks hold their MNA
+// unknowns and companion states.  Solved steps use the scope-restricted
+// engine, whose all-active case is bit-identical to the monolithic
+// solve — see DESIGN.md ("Block latency contract") for the accuracy
+// semantics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/transient.hpp"
+
+namespace si::event {
+
+/// Drop-in event-driven counterpart of spice::Transient.  Construct,
+/// add probes, run.  spice::Transient::run() routes here when
+/// TransientOptions::engine resolves to TransientEngine::kEvent.
+class EventTransient {
+ public:
+  EventTransient(spice::Circuit& c, spice::TransientOptions opt);
+
+  void probe_voltage(const std::string& node_name);
+  void probe_current(const std::string& vsource_name);
+  void set_initial_voltage(const std::string& node_name, double volts);
+
+  /// Runs the analysis.  Same contract as spice::Transient::run — the
+  /// returned waveforms cover every grid point (held samples repeat the
+  /// frozen values) and the event_* statistics are filled in.
+  spice::TransientResult run(
+      const std::function<void(double, const spice::SolutionView&)>& on_step =
+          {});
+
+ private:
+  spice::Circuit* circuit_;
+  spice::TransientOptions opt_;
+  std::vector<std::string> voltage_probes_;
+  std::vector<std::string> current_probes_;
+  std::vector<std::pair<std::string, double>> initial_voltages_;
+};
+
+}  // namespace si::event

@@ -1,0 +1,153 @@
+#include "event/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spice/elements.hpp"
+
+namespace si::event {
+
+namespace {
+
+/// Small union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+CircuitPartition partition_circuit(spice::Circuit& c) {
+  c.finalize();
+  const std::size_t n_nodes = c.node_count();
+  const std::size_t n_sys = c.system_size();
+  const auto& elements = c.elements();
+
+  // Rail nodes: pinned to ground by an ideal VoltageSource.  Their
+  // voltage is determined by the source alone, so they must not merge
+  // the blocks of the devices hanging off them (every memory pair
+  // touches vdd; without this rule the whole netlist is one block).
+  std::vector<unsigned char> is_rail(n_nodes, 0);
+  for (const auto& e : elements) {
+    const auto* vs = dynamic_cast<const spice::VoltageSource*>(e.get());
+    if (!vs) continue;
+    const auto terms = vs->terminals();
+    if (terms.size() != 2) continue;
+    if (terms[0].node == spice::kGroundNode &&
+        terms[1].node != spice::kGroundNode)
+      is_rail[static_cast<std::size_t>(terms[1].node)] = 1;
+    else if (terms[1].node == spice::kGroundNode &&
+             terms[0].node != spice::kGroundNode)
+      is_rail[static_cast<std::size_t>(terms[0].node)] = 1;
+  }
+
+  // Union the terminal nodes of every non-Switch element: any such
+  // element stamps cross terms between its terminals, so they must be
+  // solved together.  Ideal switches are the cut set.
+  UnionFind uf(n_nodes);
+  for (const auto& e : elements) {
+    if (dynamic_cast<const spice::Switch*>(e.get())) continue;
+    const auto terms = e->terminals();
+    int first = -1;
+    for (const auto& t : terms) {
+      if (t.node == spice::kGroundNode ||
+          is_rail[static_cast<std::size_t>(t.node)])
+        continue;
+      if (first < 0)
+        first = t.node;
+      else
+        uf.unite(first, t.node);
+    }
+  }
+
+  CircuitPartition p;
+  p.node_block.assign(n_nodes, 0);
+  p.unknown_block.assign(n_sys, 0);
+  p.element_block.assign(elements.size(), 0);
+  p.blocks.emplace_back();  // block 0: the rail block
+
+  // Number the components.
+  std::vector<int> root_block(n_nodes, -1);
+  for (spice::NodeId n = 1; n < static_cast<spice::NodeId>(n_nodes); ++n) {
+    if (is_rail[static_cast<std::size_t>(n)]) {
+      p.node_block[static_cast<std::size_t>(n)] = 0;
+      p.blocks[0].nodes.push_back(n);
+      continue;
+    }
+    const int root = uf.find(n);
+    int& blk = root_block[static_cast<std::size_t>(root)];
+    if (blk < 0) {
+      blk = static_cast<int>(p.blocks.size());
+      p.blocks.emplace_back();
+    }
+    p.node_block[static_cast<std::size_t>(n)] = blk;
+    p.blocks[static_cast<std::size_t>(blk)].nodes.push_back(n);
+  }
+
+  // Node unknowns follow their node; branch unknowns follow the element
+  // that allocated them.
+  for (spice::NodeId n = 1; n < static_cast<spice::NodeId>(n_nodes); ++n)
+    p.unknown_block[static_cast<std::size_t>(n - 1)] =
+        p.node_block[static_cast<std::size_t>(n)];
+
+  auto owning_block = [&](const spice::Element& e) {
+    // Lowest non-rail block among the element's terminals; 0 when the
+    // element touches only rail and ground (e.g. the supply source).
+    int blk = 0;
+    for (const auto& t : e.terminals()) {
+      if (t.node == spice::kGroundNode) continue;
+      const int b = p.node_block[static_cast<std::size_t>(t.node)];
+      if (b > 0 && (blk == 0 || b < blk)) blk = b;
+    }
+    return blk;
+  };
+
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const spice::Element& e = *elements[i];
+    const int blk = owning_block(e);
+    p.element_block[i] = blk;
+    p.blocks[static_cast<std::size_t>(blk)].elements.push_back(
+        static_cast<int>(i));
+    for (const int br : e.branches()) {
+      if (br < 0)
+        throw std::logic_error("partition_circuit: element '" + e.name() +
+                               "' reports an unallocated branch");
+      p.unknown_block[n_nodes - 1 + static_cast<std::size_t>(br)] = blk;
+    }
+    if (const auto* sw = dynamic_cast<const spice::Switch*>(&e)) {
+      const auto terms = sw->terminals();
+      const int ba =
+          p.node_block[static_cast<std::size_t>(terms[0].node)];
+      const int bb =
+          p.node_block[static_cast<std::size_t>(terms[1].node)];
+      if (ba != bb && ba > 0 && bb > 0)
+        p.boundaries.push_back({static_cast<int>(i), std::min(ba, bb),
+                                std::max(ba, bb)});
+    }
+  }
+
+  for (std::size_t i = 0; i < n_sys; ++i)
+    p.blocks[static_cast<std::size_t>(p.unknown_block[i])].unknowns.push_back(
+        static_cast<int>(i));
+
+  return p;
+}
+
+}  // namespace si::event

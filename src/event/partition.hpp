@@ -1,0 +1,61 @@
+// Circuit partitioner for the event-driven transient engine: splits a
+// finalized Circuit into connected blocks separated by ideal Switch
+// elements, the natural cut set of a switched-current netlist (every
+// other element couples its terminals bidirectionally through the MNA
+// matrix, so they union their terminal nodes into one block).
+//
+// Rail handling: ground and every node pinned to ground by an ideal
+// VoltageSource (supplies, clock phase drivers) form the dedicated rail
+// block 0.  Rail nodes do NOT merge blocks — their voltages are fixed by
+// the sources, so coupling through them only affects the source branch
+// currents, which live in the rail block and are re-solved whenever any
+// block is active.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace si::event {
+
+/// One partition block: a set of MNA unknowns solved (or skipped)
+/// together by the event engine.
+struct Block {
+  std::vector<spice::NodeId> nodes;  ///< member nodes (excl. ground)
+  std::vector<int> unknowns;         ///< global MNA indices (nodes+branches)
+  std::vector<int> elements;         ///< owned element ordinals
+};
+
+/// A Switch element whose terminals land in two different non-rail
+/// blocks: the latency boundary the event scheduler reasons about.
+struct Boundary {
+  int element = -1;  ///< ordinal of the Switch in Circuit::elements()
+  int block_a = -1;
+  int block_b = -1;
+};
+
+/// The partition of one circuit topology (valid for one
+/// Circuit::revision()).
+struct CircuitPartition {
+  /// Block 0 is the rail block (ground-pinned nodes and their source
+  /// branches); blocks 1.. are the switch-separated islands.
+  std::vector<Block> blocks;
+  std::vector<Boundary> boundaries;
+
+  /// Block id per NodeId (ground and rail nodes map to 0).
+  std::vector<int> node_block;
+  /// Block id per MNA unknown index.
+  std::vector<int> unknown_block;
+  /// Owning block id per element ordinal.  Boundary switches are owned
+  /// by their lower-numbered side so that every element belongs to
+  /// exactly one block.
+  std::vector<int> element_block;
+
+  std::size_t block_count() const { return blocks.size(); }
+};
+
+/// Builds the partition (finalizes the circuit first).
+CircuitPartition partition_circuit(spice::Circuit& c);
+
+}  // namespace si::event

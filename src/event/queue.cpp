@@ -1,0 +1,172 @@
+#include "event/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/elements.hpp"
+
+namespace si::event {
+
+namespace {
+
+/// Blocks reachable from a stimulus: the driving element's own block,
+/// plus — when the element pins a rail node (supply, clock phase
+/// driver) — the block of every element hanging off that rail node,
+/// since a rail edge re-excites all of them at once.
+void attach_blocks(const spice::Circuit& c, const CircuitPartition& p,
+                   std::size_t elem_idx, std::vector<int>& out) {
+  const auto& elements = c.elements();
+  const spice::Element& e = *elements[elem_idx];
+  out.push_back(p.element_block[elem_idx]);
+
+  std::vector<spice::NodeId> rails;
+  for (const auto& t : e.terminals())
+    if (t.node != spice::kGroundNode &&
+        p.node_block[static_cast<std::size_t>(t.node)] == 0)
+      rails.push_back(t.node);
+  if (!rails.empty()) {
+    for (std::size_t j = 0; j < elements.size(); ++j) {
+      if (j == elem_idx) continue;
+      for (const auto& t : elements[j]->terminals())
+        if (std::find(rails.begin(), rails.end(), t.node) != rails.end()) {
+          out.push_back(p.element_block[j]);
+          break;
+        }
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace
+
+EventQueue::EventQueue(const spice::Circuit& c, const CircuitPartition& p,
+                       double t_stop)
+    : t_stop_(t_stop) {
+  const auto& elements = c.elements();
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const spice::Element& e = *elements[i];
+    const spice::Waveform* wave = nullptr;
+    if (const auto* vs = dynamic_cast<const spice::VoltageSource*>(&e))
+      wave = &vs->waveform();
+    else if (const auto* is = dynamic_cast<const spice::CurrentSource*>(&e))
+      wave = &is->waveform();
+    else if (const auto* sw = dynamic_cast<const spice::Switch*>(&e))
+      wave = &sw->control();
+    if (!wave) continue;
+
+    Stimulus s;
+    s.wave = wave;
+    s.last_value = wave->value(0.0);
+    attach_blocks(c, p, i, s.blocks);
+    // A switch control stimulates both sides of the switch, not just the
+    // owning side: closing it couples the blocks either way.
+    if (const auto* sw = dynamic_cast<const spice::Switch*>(&e)) {
+      for (const auto& t : sw->terminals()) {
+        if (t.node == spice::kGroundNode) continue;
+        const int b = p.node_block[static_cast<std::size_t>(t.node)];
+        if (b > 0 &&
+            std::find(s.blocks.begin(), s.blocks.end(), b) == s.blocks.end())
+          s.blocks.push_back(b);
+      }
+      std::sort(s.blocks.begin(), s.blocks.end());
+    }
+
+    const std::size_t idx = stimuli_.size();
+    if (!wave->changes_begin_at_breakpoints()) sampled_.push_back(idx);
+    stimuli_.push_back(std::move(s));
+    push_next_breakpoint(idx, 0.0);
+  }
+  fired_.assign(stimuli_.size(), 0);
+}
+
+void EventQueue::push_next_breakpoint(std::size_t stim, double after) {
+  const spice::Waveform& w = *stimuli_[stim].wave;
+  // Window the query so periodic stimuli never enumerate breakpoints far
+  // beyond the horizon; aperiodic ones are scanned to t_stop once.
+  const double period = w.period();
+  double t0 = after;
+  for (;;) {
+    const double t1 =
+        period > 0.0 ? std::min(t0 + period, t_stop_) : t_stop_;
+    if (t1 <= t0) return;
+    scratch_.clear();
+    w.breakpoints(t0, t1, scratch_);
+    if (!scratch_.empty()) {
+      heap_.push({*std::min_element(scratch_.begin(), scratch_.end()), stim});
+      return;
+    }
+    if (t1 >= t_stop_) return;
+    t0 = t1;
+  }
+}
+
+void EventQueue::mark(const Stimulus& s,
+                      std::vector<unsigned char>& stimulated) const {
+  for (const int b : s.blocks)
+    if (b >= 0 && static_cast<std::size_t>(b) < stimulated.size())
+      stimulated[static_cast<std::size_t>(b)] = 1;
+}
+
+DispatchCounts EventQueue::step(double t_prev, double t, double wave_tol,
+                                std::vector<unsigned char>& stimulated) {
+  DispatchCounts counts;
+
+  while (!heap_.empty() && heap_.top().first <= t) {
+    const auto [bt, stim] = heap_.top();
+    heap_.pop();
+    if (bt > t_prev) {
+      ++counts.breakpoints;
+      fired_[stim] = 1;
+      Stimulus& s = stimuli_[stim];
+      mark(s, stimulated);
+      // A breakpoint on a flat-between-edges waveform opens a ramp
+      // window: keep sampling it until the value settles so the step
+      // where a switch control crosses its threshold always stimulates,
+      // even when the crossing falls strictly between the ramp's edge
+      // breakpoints (or an edge instant lands a ULP past the grid).
+      if (!s.hot && s.wave->changes_begin_at_breakpoints()) {
+        s.hot = true;
+        hot_.push_back(stim);
+      }
+    }
+    push_next_breakpoint(stim, bt);
+  }
+
+  for (std::size_t h = 0; h < hot_.size();) {
+    Stimulus& s = stimuli_[hot_[h]];
+    const double v = s.wave->value(t);
+    if (fired_[hot_[h]] || std::abs(v - s.last_value) > wave_tol) {
+      if (!fired_[hot_[h]]) {
+        ++counts.value_changes;
+        mark(s, stimulated);
+      }
+      s.last_value = v;
+      ++h;
+    } else {
+      // Flat again: the ramp is over, stop sampling this stimulus.
+      s.hot = false;
+      hot_[h] = hot_.back();
+      hot_.pop_back();
+    }
+  }
+
+  // Only drifting waveforms are sampled; breakpoint-covered stimuli
+  // (pulse clocks, constants) were fully handled by the heap above.
+  for (const std::size_t i : sampled_) {
+    Stimulus& s = stimuli_[i];
+    const double v = s.wave->value(t);
+    if (fired_[i] || std::abs(v - s.last_value) > wave_tol) {
+      if (!fired_[i]) {
+        ++counts.value_changes;
+        mark(s, stimulated);
+      }
+      s.last_value = v;
+    }
+  }
+  if (counts.breakpoints > 0) std::fill(fired_.begin(), fired_.end(), 0);
+  return counts;
+}
+
+}  // namespace si::event

@@ -4,6 +4,26 @@
 
 namespace si::cells::netlists {
 
+namespace {
+
+/// Creates a fresh named node; throws if the name already exists.  The
+/// builders allocate their internal nodes through this guard so that a
+/// prefix collision — two stages/sections built with the same prefix,
+/// which used to silently alias the stage boundary nodes in the
+/// smallest (count = 1) configurations — fails loudly instead.  Shared
+/// rails ("vdd") are looked up with plain Circuit::node() on purpose.
+spice::NodeId fresh_node(spice::Circuit& c, const std::string& name) {
+  const std::size_t before = c.node_count();
+  const spice::NodeId n = c.node(name);
+  if (static_cast<std::size_t>(n) < before)
+    throw std::invalid_argument(
+        "netlist builder: node '" + name +
+        "' already exists (prefix collision would alias circuit nodes)");
+  return n;
+}
+
+}  // namespace
+
 spice::MosfetParams ProcessOptions::nmos(double w, double cgs) const {
   spice::MosfetParams p;
   p.w = w;
@@ -31,9 +51,9 @@ MemoryPairHandles build_class_ab_memory_pair(spice::Circuit& c,
                                              const std::string& prefix) {
   MemoryPairHandles h;
   h.vdd = c.node("vdd");
-  h.d = c.node(prefix + "d");
-  h.gn = c.node(prefix + "gn");
-  h.gp = c.node(prefix + "gp");
+  h.d = fresh_node(c, prefix + "d");
+  h.gn = fresh_node(c, prefix + "gn");
+  h.gp = fresh_node(c, prefix + "gp");
 
   const auto& pr = opt.process;
   spice::MosfetParams pn = pr.nmos(opt.w_mem_n, pr.cgs_mem);
@@ -55,7 +75,7 @@ MemoryPairHandles build_class_ab_memory_pair(spice::Circuit& c,
                                  opt.clock_period / 50.0};
   if (opt.mos_switches) {
     // Real MOS switches show charge injection when they open.
-    const spice::NodeId phi1 = c.node(prefix + "phi1");
+    const spice::NodeId phi1 = fresh_node(c, prefix + "phi1");
     c.add<spice::VoltageSource>(prefix + "Vphi1", phi1, c.ground(),
                                 clk.phase1());
     spice::MosfetParams swn = pr.nmos(opt.switch_w, opt.switch_cgs);
@@ -63,7 +83,7 @@ MemoryPairHandles build_class_ab_memory_pair(spice::Circuit& c,
     c.add<spice::Mosfet>(prefix + "SWN", spice::MosType::kNmos, sample, phi1,
                          h.gn, swn);
     if (opt.complementary_switches) {
-      const spice::NodeId phi1b = c.node(prefix + "phi1b");
+      const spice::NodeId phi1b = fresh_node(c, prefix + "phi1b");
       // Inverted clock for the p switch.
       c.add<spice::VoltageSource>(
           prefix + "Vphi1b", phi1b, c.ground(),
@@ -194,9 +214,9 @@ GgaHandles build_gga(spice::Circuit& c, const GgaOptions& opt,
                      const std::string& prefix) {
   GgaHandles h;
   const spice::NodeId vdd = c.node("vdd");
-  h.in = c.node(prefix + "in");
-  h.out = c.node(prefix + "out");
-  const spice::NodeId vb = c.node(prefix + "vb");
+  h.in = fresh_node(c, prefix + "in");
+  h.out = fresh_node(c, prefix + "out");
+  const spice::NodeId vb = fresh_node(c, prefix + "vb");
 
   c.add<spice::VoltageSource>(prefix + "Vb", vb, c.ground(), opt.v_gate);
   h.tg = &c.add<spice::Mosfet>(prefix + "TG", spice::MosType::kNmos, h.out,
@@ -236,11 +256,11 @@ CmffHandles build_cmff(spice::Circuit& c, const CmffOptions& opt,
                        const std::string& prefix) {
   CmffHandles h;
   h.vdd = c.node("vdd");
-  h.in_p = c.node(prefix + "inp");
-  h.in_m = c.node(prefix + "inm");
-  h.out_p = c.node(prefix + "outp");
-  h.out_m = c.node(prefix + "outm");
-  const spice::NodeId x = c.node(prefix + "icm");
+  h.in_p = fresh_node(c, prefix + "inp");
+  h.in_m = fresh_node(c, prefix + "inm");
+  h.out_p = fresh_node(c, prefix + "outp");
+  h.out_m = fresh_node(c, prefix + "outm");
+  const spice::NodeId x = fresh_node(c, prefix + "icm");
 
   const auto& pr = opt.process;
   // Diode masters receiving the differential output currents.

@@ -35,6 +35,16 @@ RealStamper::RealStamper(const Circuit& c, linalg::PatternBuilder& rec,
     : circuit_(&c), record_(&rec), b_(&b), x_(&x) {}
 
 void RealStamper::add(int r, int c, double v) {
+  if (scope_) {
+    if (!(*scope_)[static_cast<std::size_t>(r)]) return;  // frozen equation
+    if (!(*scope_)[static_cast<std::size_t>(c)]) {
+      // Out-of-scope column: the unknown is held at its last solved
+      // value, so its contribution is a known current — condense it.
+      (*b_)[static_cast<std::size_t>(r)] -=
+          v * (*x_)[static_cast<std::size_t>(c)];
+      return;
+    }
+  }
   if (dense_) {
     (*dense_)(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
   } else if (sparse_) {
@@ -83,8 +93,8 @@ void RealStamper::transconductance(NodeId out_p, NodeId out_m, NodeId cp,
 void RealStamper::current(NodeId p, NodeId m, double i) {
   const int ip = node_index(p);
   const int im = node_index(m);
-  if (ip >= 0) (*b_)[static_cast<std::size_t>(ip)] -= i;
-  if (im >= 0) (*b_)[static_cast<std::size_t>(im)] += i;
+  if (ip >= 0 && row_in_scope(ip)) (*b_)[static_cast<std::size_t>(ip)] -= i;
+  if (im >= 0 && row_in_scope(im)) (*b_)[static_cast<std::size_t>(im)] += i;
 }
 
 void RealStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
@@ -102,7 +112,8 @@ void RealStamper::branch_voltage_row(int branch, NodeId p, NodeId m) {
 }
 
 void RealStamper::branch_rhs(int branch, double v) {
-  (*b_)[static_cast<std::size_t>(branch_index(branch))] += v;
+  const int row = branch_index(branch);
+  if (row_in_scope(row)) (*b_)[static_cast<std::size_t>(row)] += v;
 }
 
 void RealStamper::branch_row_entry(int branch, NodeId n, double coeff) {

@@ -72,6 +72,14 @@ class RealStamper {
   RealStamper(const Circuit& c, linalg::PatternBuilder& rec,
               linalg::Vector& b, const linalg::Vector& x);
 
+  /// Restricts stamping to the unknowns with scope[i] != 0 (size must
+  /// equal the MNA system size; must outlive the stamper).  Rows outside
+  /// the scope are dropped — their equations are frozen by the caller —
+  /// and out-of-scope columns are condensed onto the RHS through the
+  /// held iterate (b[r] -= a_rc * x[c]): the exact Dirichlet restriction
+  /// of the monolithic system used by the event engine's block solves.
+  void set_scope(const std::vector<unsigned char>* scope) { scope_ = scope; }
+
   /// Voltage of node `n` in the current Newton iterate.
   double voltage(NodeId n) const;
   /// Branch current in the current Newton iterate.
@@ -97,6 +105,9 @@ class RealStamper {
  private:
   int node_index(NodeId n) const { return n - 1; }  // -1 for ground
   int branch_index(int branch) const;
+  bool row_in_scope(int r) const {
+    return !scope_ || (*scope_)[static_cast<std::size_t>(r)] != 0;
+  }
   void add(int r, int c, double v);
 
   const Circuit* circuit_;
@@ -104,6 +115,7 @@ class RealStamper {
   linalg::SparseMatrixD* sparse_ = nullptr;
   linalg::PatternBuilder* record_ = nullptr;
   linalg::SlotMemo* memo_ = nullptr;
+  const std::vector<unsigned char>* scope_ = nullptr;
   linalg::Vector* b_;
   const linalg::Vector* x_;
 };
@@ -183,6 +195,11 @@ class Element {
   /// of the ERC connectivity analysis.  Pure so new elements cannot
   /// silently vanish from the topology checks.
   virtual std::vector<Terminal> terminals() const = 0;
+
+  /// Branch-current unknowns this element allocated during setup()
+  /// (voltage-defined elements).  The event-engine partitioner uses this
+  /// to assign every MNA unknown, not just node voltages, to a block.
+  virtual std::vector<int> branches() const { return {}; }
 
   /// Contributes the element's (possibly linearized) stamp.
   virtual void stamp(RealStamper& s, const StampContext& ctx) = 0;

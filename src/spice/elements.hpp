@@ -135,6 +135,8 @@ class VoltageSource final : public Element {
   /// Branch index carrying this source's current (valid after setup()).
   int branch() const { return branch_; }
 
+  std::vector<int> branches() const override { return {branch_}; }
+
  private:
   NodeId p_, m_;
   std::unique_ptr<Waveform> wave_;
@@ -166,6 +168,7 @@ class Vcvs final : public Element {
   void setup(Circuit& c) override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
+  std::vector<int> branches() const override { return {branch_}; }
 
  private:
   NodeId p_, m_, cp_, cm_;
@@ -201,6 +204,7 @@ class Ccvs final : public Element {
   void setup(Circuit& c) override;
   void stamp(RealStamper& s, const StampContext& ctx) override;
   void stamp_ac(ComplexStamper& s, double omega) const override;
+  std::vector<int> branches() const override { return {branch_}; }
 
  private:
   NodeId p_, m_;

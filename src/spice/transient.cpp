@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "erc/check.hpp"
+#include "event/event_transient.hpp"
 #include "obs/telemetry.hpp"
 #include "spice/elements.hpp"
 #include "spice/mna.hpp"
@@ -29,6 +32,23 @@ struct TransientTelemetry {
 };
 
 }  // namespace
+
+TransientEngine transient_engine_from_env() {
+  const char* v = std::getenv("SI_TRANSIENT");
+  if (!v) return TransientEngine::kAuto;
+  const std::string s(v);
+  if (s == "event") return TransientEngine::kEvent;
+  if (s == "monolithic") return TransientEngine::kMonolithic;
+  return TransientEngine::kAuto;
+}
+
+TransientEngine resolve_engine(TransientEngine requested, bool adaptive) {
+  if (adaptive) return TransientEngine::kMonolithic;
+  if (requested != TransientEngine::kAuto) return requested;
+  const TransientEngine env = transient_engine_from_env();
+  if (env != TransientEngine::kAuto) return env;
+  return TransientEngine::kMonolithic;
+}
 
 const std::vector<double>& TransientResult::signal(
     const std::string& name) const {
@@ -61,6 +81,14 @@ void Transient::set_initial_voltage(const std::string& node_name,
 TransientResult Transient::run(
     const std::function<void(double, const SolutionView&)>& on_step) {
   Circuit& c = *circuit_;
+  if (resolve_engine(opt_.engine, opt_.adaptive) == TransientEngine::kEvent) {
+    event::EventTransient ev(c, opt_);
+    for (const auto& n : voltage_probes_) ev.probe_voltage(n);
+    for (const auto& n : current_probes_) ev.probe_current(n);
+    for (const auto& [name, volts] : initial_voltages_)
+      ev.set_initial_voltage(name, volts);
+    return ev.run(on_step);
+  }
   if (opt_.erc_gate) erc::enforce(c);
   c.finalize();
 
@@ -208,12 +236,40 @@ TransientResult Transient::run(
   double dt = opt_.dt;
   linalg::Vector x_trap;  // hoisted: the loop reuses their storage
   linalg::Vector x_be;
+
+  // Stimulus waveforms whose breakpoints (pulse edges, PWL knots) the
+  // stepper must land on instead of stepping over: a clock edge inside
+  // an oversized step would otherwise be smeared across it, and the LTE
+  // estimate — evaluated only at step ends — cannot see the miss.
+  std::vector<const Waveform*> bp_waves;
+  if (opt_.honor_breakpoints) {
+    for (const auto& e : c.elements()) {
+      if (const auto* vs = dynamic_cast<const VoltageSource*>(e.get()))
+        bp_waves.push_back(&vs->waveform());
+      else if (const auto* is = dynamic_cast<const CurrentSource*>(e.get()))
+        bp_waves.push_back(&is->waveform());
+      else if (const auto* sw = dynamic_cast<const Switch*>(e.get()))
+        bp_waves.push_back(&sw->control());
+    }
+  }
+  std::vector<double> bp_scratch;
+
   while (t < opt_.t_stop - 1e-18 * opt_.t_stop) {
     dt = std::min(dt, opt_.t_stop - t);
+    // Clamp the step to the earliest breakpoint inside it (but never
+    // below dt_min: a breakpoint closer than that is hit on the next
+    // step's leading edge instead of forcing a denormal step).
+    double dt_step = dt;
+    if (!bp_waves.empty()) {
+      bp_scratch.clear();
+      for (const Waveform* w : bp_waves) w->breakpoints(t, t + dt, bp_scratch);
+      for (const double bt : bp_scratch)
+        dt_step = std::min(dt_step, std::max(bt - t, dt_min));
+    }
     // When the remaining window is what clamped dt this is the final
     // step: pin it to t_stop exactly instead of t + dt's rounded sum.
-    ctx.time = (opt_.t_stop - t) <= dt ? opt_.t_stop : t + dt;
-    ctx.dt = dt;
+    ctx.time = (opt_.t_stop - t) <= dt_step ? opt_.t_stop : t + dt_step;
+    ctx.dt = dt_step;
 
     ctx.integrator = Integrator::kTrapezoidal;
     x_trap = x;
@@ -229,8 +285,8 @@ TransientResult Transient::run(
     for (std::size_t i = 0; i < n_nodes; ++i)
       err = std::max(err, std::abs(x_trap[i] - x_be[i]));
 
-    if (err > opt_.lte_tol && dt > dt_min * 1.0001) {
-      dt = std::max(0.5 * dt, dt_min);
+    if (err > opt_.lte_tol && dt_step > dt_min * 1.0001) {
+      dt = std::max(0.5 * dt_step, dt_min);
       ++result.steps_rejected;
       tm.steps_rejected.add();
       continue;  // reject and retry with a smaller step
@@ -251,7 +307,9 @@ TransientResult Transient::run(
     record(t, sol);
     ++result.steps_accepted;
     tm.steps_accepted.add();
-    tm.dt_hist.record(dt);
+    tm.dt_hist.record(dt_step);
+    // Grow from the pre-clamp step size: a breakpoint landing should not
+    // permanently shrink the stride the controller had earned.
     if (err < 0.25 * opt_.lte_tol) dt = std::min(2.0 * dt, dt_max);
   }
   return result;

@@ -13,6 +13,23 @@
 
 namespace si::spice {
 
+/// Which stepping engine executes a transient run.
+enum class TransientEngine {
+  kAuto,        ///< follow the SI_TRANSIENT env override, else monolithic
+  kMonolithic,  ///< full-circuit Newton solve at every step (the default)
+  kEvent,       ///< event-driven multi-rate engine (src/event): partitions
+                ///< the circuit at switch boundaries and skips latent blocks
+};
+
+/// Parses SI_TRANSIENT ("event", "monolithic"); kAuto when unset or
+/// unrecognized.
+TransientEngine transient_engine_from_env();
+
+/// Resolves a requested engine to a concrete one.  An explicit request
+/// wins; kAuto defers to SI_TRANSIENT, then to monolithic.  Adaptive
+/// runs always resolve monolithic (the event engine is fixed-grid).
+TransientEngine resolve_engine(TransientEngine requested, bool adaptive);
+
 struct TransientOptions {
   double t_stop = 0.0;   ///< end time [s]
   double dt = 0.0;       ///< fixed step, or initial step when adaptive [s]
@@ -32,6 +49,25 @@ struct TransientOptions {
   double lte_tol = 1e-5;  ///< accepted trap-vs-BE node difference [V]
   double dt_min = 0.0;    ///< defaults to dt / 1024
   double dt_max = 0.0;    ///< defaults to dt * 16
+  /// Adaptive runs clamp each step so it lands exactly on the next
+  /// waveform breakpoint (pulse edges, PWL knots) instead of stepping
+  /// over a fast switch edge and smearing it across one oversized step.
+  bool honor_breakpoints = true;
+
+  /// Engine selection (see TransientEngine).  The event engine produces
+  /// waveforms %.6g-identical to the monolithic one on the parity suites
+  /// while skipping Newton solves for latent blocks.
+  TransientEngine engine = TransientEngine::kAuto;
+  /// Event engine: a stimulus counts as changed when its sampled value
+  /// moved more than this since the attached block's last solve [V or A].
+  double event_wave_tol = 1e-9;
+  /// Event engine: a block is quiescent once the largest per-step change
+  /// over its unknowns falls below this [V]; see the DESIGN.md block
+  /// latency contract for how this bounds the parity error.
+  double event_quiescent_tol = 1e-8;
+  /// Event engine: consecutive quiescent solved steps before a block may
+  /// be declared latent.
+  int event_settle_steps = 2;
 };
 
 /// Recorded waveforms: time base plus one sample vector per probe,
@@ -48,6 +84,16 @@ struct TransientResult {
   /// lte_tol: nonzero means the requested accuracy was NOT met and the
   /// result is locally degraded.
   std::uint64_t lte_clamped_steps = 0;
+
+  /// Event engine only (zero under the monolithic engine): block-level
+  /// multi-rate statistics.  latency ratio = block_skips / (block_solves
+  /// + block_skips); steps_skipped counts grid steps where every block
+  /// was latent and the Newton solve was elided entirely.
+  std::uint64_t event_steps_skipped = 0;
+  std::uint64_t event_block_solves = 0;
+  std::uint64_t event_block_skips = 0;
+  /// Partition size the event engine ran with (0 for monolithic).
+  std::uint64_t event_blocks = 0;
 
   const std::vector<double>& signal(const std::string& name) const;
 };

@@ -23,6 +23,11 @@ double SineWave::value(double t) const {
                                          phase_);
 }
 
+void SineWave::breakpoints(double t0, double t1,
+                           std::vector<double>& out) const {
+  if (delay_ > t0 && delay_ <= t1) out.push_back(delay_);
+}
+
 PulseWave::PulseWave(double v1, double v2, double delay, double rise,
                      double fall, double width, double period)
     : v1_(v1),
@@ -54,6 +59,24 @@ double PulseWave::value(double t) const {
   return v1_;
 }
 
+void PulseWave::breakpoints(double t0, double t1,
+                            std::vector<double>& out) const {
+  // Four slope discontinuities per period: rise start (delay + k·T),
+  // rise end, fall start, fall end.  Zero rise/fall times collapse
+  // adjacent marks onto the same instant; callers deduplicate.
+  const double marks[4] = {0.0, rise_, rise_ + width_, rise_ + width_ + fall_};
+  double k = std::floor((t0 - delay_) / period_) - 1.0;
+  if (k < 0.0) k = 0.0;
+  for (;; k += 1.0) {
+    const double base = delay_ + k * period_;
+    if (base > t1) break;
+    for (const double m : marks) {
+      const double t = base + m;
+      if (t > t0 && t <= t1) out.push_back(t);
+    }
+  }
+}
+
 PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
     : points_(std::move(points)) {
   if (points_.size() < 2) throw std::invalid_argument("PwlWave: >= 2 points");
@@ -72,6 +95,12 @@ double PwlWave::value(double t) const {
   const auto& lo = *(it - 1);
   const double f = (t - lo.first) / (hi.first - lo.first);
   return lo.second + f * (hi.second - lo.second);
+}
+
+void PwlWave::breakpoints(double t0, double t1,
+                          std::vector<double>& out) const {
+  for (const auto& [t, v] : points_)
+    if (t > t0 && t <= t1) out.push_back(t);
 }
 
 std::unique_ptr<Waveform> TwoPhaseClock::phase1() const {

@@ -20,6 +20,24 @@ class Waveform {
   /// Repetition period [s]; 0 for aperiodic waveforms.  Lets the ERC
   /// clock-phase rules recover the sampling period from switch controls.
   virtual double period() const { return 0.0; }
+  /// Appends every breakpoint (slope discontinuity) of the waveform in
+  /// the half-open interval (t0, t1], unordered and possibly with
+  /// duplicates.  Pulse trains emit the exact four edge instants per
+  /// period (delay + k·T, rise end, fall start, fall end), so event
+  /// queues and adaptive steppers can land on fast switch edges instead
+  /// of stepping over them.  Smooth waveforms emit nothing.
+  virtual void breakpoints(double t0, double t1,
+                           std::vector<double>& out) const {
+    (void)t0;
+    (void)t1;
+    (void)out;
+  }
+  /// True when every interval over which the value varies begins at a
+  /// breakpoint (pulse edges, constants).  Event schedulers may then
+  /// watch the breakpoint stream alone instead of sampling the value on
+  /// every step; waveforms that drift between breakpoints (sine, PWL
+  /// ramps) keep the default and stay under per-step drift detection.
+  virtual bool changes_begin_at_breakpoints() const { return false; }
 };
 
 /// Constant value.
@@ -27,6 +45,7 @@ class DcWave final : public Waveform {
  public:
   explicit DcWave(double level) : level_(level) {}
   double value(double) const override { return level_; }
+  bool changes_begin_at_breakpoints() const override { return true; }
 
  private:
   double level_;
@@ -40,6 +59,9 @@ class SineWave final : public Waveform {
   double value(double t) const override;
   double dc_value() const override { return offset_; }
   double period() const override { return freq_ > 0.0 ? 1.0 / freq_ : 0.0; }
+  /// The only slope discontinuity is the turn-on instant at `delay`.
+  void breakpoints(double t0, double t1,
+                   std::vector<double>& out) const override;
 
  private:
   double offset_, amplitude_, freq_, delay_, phase_;
@@ -53,6 +75,13 @@ class PulseWave final : public Waveform {
   double value(double t) const override;
   double dc_value() const override { return v1_; }
   double period() const override { return period_; }
+  /// Exact edge instants per period k >= 0: delay + k·T + {0, rise,
+  /// rise+width, rise+width+fall}.  Handles nonzero delay and rise/fall
+  /// times — the naive period()-multiples enumeration misses all four.
+  void breakpoints(double t0, double t1,
+                   std::vector<double>& out) const override;
+  /// Flat between edges; the four edge breakpoints bracket every ramp.
+  bool changes_begin_at_breakpoints() const override { return true; }
 
  private:
   double v1_, v2_, delay_, rise_, fall_, width_, period_;
@@ -63,6 +92,9 @@ class PwlWave final : public Waveform {
  public:
   explicit PwlWave(std::vector<std::pair<double, double>> points);
   double value(double t) const override;
+  /// Every knot is a slope discontinuity.
+  void breakpoints(double t0, double t1,
+                   std::vector<double>& out) const override;
 
  private:
   std::vector<std::pair<double, double>> points_;

@@ -1,0 +1,210 @@
+// Partition invariants for the event-driven transient engine, fuzzed
+// over randomized workload sizes: every MNA unknown lands in exactly one
+// block, boundaries are Switch elements whose sides live in different
+// non-rail blocks, and block 0 is the rail block.  Also pins the
+// netlist-builder regressions that the partitioner depends on: count = 1
+// builders must not alias nodes, and reusing a prefix must throw instead
+// of silently merging circuits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "event/partition.hpp"
+#include "si/netlists.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+
+namespace {
+
+using namespace si::spice;
+using namespace si::event;
+namespace nets = si::cells::netlists;
+
+void build_chain(Circuit& c, int stages, const std::string& prefix = "dl_") {
+  nets::DelayStageOptions opt;
+  const auto h = nets::build_delay_line_chain(c, stages, opt, prefix);
+  const double T = opt.pair.clock_period;
+  c.add<CurrentSource>(
+      prefix + "Iin", c.ground(), h.in,
+      std::make_unique<SineWave>(0.0, 5e-6, 1.0 / (8.0 * T)));
+}
+
+void build_modulator(Circuit& c, int sections) {
+  nets::ModulatorCoreOptions opt;
+  const auto h = nets::build_modulator_core(c, sections, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iinp", c.ground(), h.in_p,
+      std::make_unique<SineWave>(0.0, 4e-6, 1.0 / (8.0 * T)));
+  c.add<CurrentSource>(
+      "Iinm", c.ground(), h.in_m,
+      std::make_unique<SineWave>(0.0, -4e-6, 1.0 / (8.0 * T)));
+}
+
+void add_supply(Circuit& c) {
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+}
+
+/// Blocks of the non-rail terminal nodes of element `i`, deduplicated.
+std::vector<int> terminal_blocks(const Circuit& c, const CircuitPartition& p,
+                                 std::size_t i) {
+  std::vector<int> bs;
+  for (const auto& t : c.elements()[i]->terminals()) {
+    if (t.node == kGroundNode) continue;
+    const int b = p.node_block[static_cast<std::size_t>(t.node)];
+    if (b > 0) bs.push_back(b);
+  }
+  std::sort(bs.begin(), bs.end());
+  bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+  return bs;
+}
+
+void check_invariants(const Circuit& c, const CircuitPartition& p) {
+  const std::size_t n_blocks = p.block_count();
+  ASSERT_GE(n_blocks, 2u) << "workload must split beyond the rail block";
+  ASSERT_EQ(p.node_block.size(), c.node_count());
+  ASSERT_EQ(p.unknown_block.size(), c.system_size());
+  ASSERT_EQ(p.element_block.size(), c.elements().size());
+  EXPECT_EQ(p.node_block[kGroundNode], 0) << "ground must be rail";
+
+  // Every unknown appears in exactly one block's list, and that block
+  // agrees with the unknown_block map.
+  std::vector<int> seen(c.system_size(), 0);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (const int u : p.blocks[b].unknowns) {
+      ASSERT_GE(u, 0);
+      ASSERT_LT(static_cast<std::size_t>(u), c.system_size());
+      ++seen[static_cast<std::size_t>(u)];
+      EXPECT_EQ(p.unknown_block[static_cast<std::size_t>(u)],
+                static_cast<int>(b))
+          << "unknown " << u;
+    }
+  }
+  for (std::size_t u = 0; u < seen.size(); ++u)
+    EXPECT_EQ(seen[u], 1) << "unknown " << u << " owned by " << seen[u]
+                          << " blocks";
+
+  // Every element is owned by exactly one block.
+  std::vector<int> owned(c.elements().size(), 0);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (const int e : p.blocks[b].elements) {
+      ASSERT_GE(e, 0);
+      ASSERT_LT(static_cast<std::size_t>(e), c.elements().size());
+      ++owned[static_cast<std::size_t>(e)];
+      EXPECT_EQ(p.element_block[static_cast<std::size_t>(e)],
+                static_cast<int>(b))
+          << "element " << e;
+    }
+  }
+  for (std::size_t e = 0; e < owned.size(); ++e)
+    EXPECT_EQ(owned[e], 1) << c.elements()[e]->name();
+
+  // Boundaries are Switches bridging two distinct non-rail blocks, owned
+  // by the lower-numbered side.
+  std::vector<unsigned char> is_boundary(c.elements().size(), 0);
+  for (const auto& bd : p.boundaries) {
+    ASSERT_GE(bd.element, 0);
+    ASSERT_LT(static_cast<std::size_t>(bd.element), c.elements().size());
+    is_boundary[static_cast<std::size_t>(bd.element)] = 1;
+    EXPECT_NE(dynamic_cast<const Switch*>(
+                  c.elements()[static_cast<std::size_t>(bd.element)].get()),
+              nullptr)
+        << "boundary element must be a Switch";
+    EXPECT_GT(bd.block_a, 0);
+    EXPECT_GT(bd.block_b, 0);
+    EXPECT_NE(bd.block_a, bd.block_b);
+    EXPECT_EQ(p.element_block[static_cast<std::size_t>(bd.element)],
+              std::min(bd.block_a, bd.block_b));
+  }
+
+  // Completeness: a non-boundary element's non-rail terminals must all
+  // live in one block — its owning block, unless every terminal is rail.
+  for (std::size_t i = 0; i < c.elements().size(); ++i) {
+    const auto bs = terminal_blocks(c, p, i);
+    if (is_boundary[i]) {
+      EXPECT_EQ(bs.size(), 2u) << c.elements()[i]->name();
+      continue;
+    }
+    EXPECT_LE(bs.size(), 1u)
+        << c.elements()[i]->name()
+        << ": non-boundary element straddles blocks";
+    if (bs.size() == 1)
+      EXPECT_EQ(p.element_block[i], bs[0]) << c.elements()[i]->name();
+    else
+      EXPECT_EQ(p.element_block[i], 0) << c.elements()[i]->name();
+  }
+}
+
+TEST(EventPartition, DelayLineChainInvariantsFuzzed) {
+  std::mt19937 rng(20260807u);
+  std::uniform_int_distribution<int> stages_dist(1, 6);
+  for (int iter = 0; iter < 6; ++iter) {
+    const int stages = stages_dist(rng);
+    Circuit c;
+    add_supply(c);
+    build_chain(c, stages);
+    const auto p = partition_circuit(c);
+    SCOPED_TRACE("stages=" + std::to_string(stages));
+    check_invariants(c, p);
+    // Each stage contributes at least one switch-separated island.
+    EXPECT_GE(p.block_count(), static_cast<std::size_t>(stages) + 1);
+    EXPECT_FALSE(p.boundaries.empty());
+  }
+}
+
+TEST(EventPartition, ModulatorCoreInvariantsFuzzed) {
+  std::mt19937 rng(19951106u);
+  std::uniform_int_distribution<int> sections_dist(1, 4);
+  for (int iter = 0; iter < 4; ++iter) {
+    const int sections = sections_dist(rng);
+    Circuit c;
+    add_supply(c);
+    build_modulator(c, sections);
+    const auto p = partition_circuit(c);
+    SCOPED_TRACE("sections=" + std::to_string(sections));
+    check_invariants(c, p);
+    EXPECT_GE(p.block_count(), static_cast<std::size_t>(sections) + 1);
+  }
+}
+
+// Regression: count = 1 builders used to alias the chain's input and
+// output nodes through prefix reuse; the partitioner then saw a single
+// degenerate block.  A one-stage chain and a one-section modulator must
+// partition like their larger siblings.
+TEST(EventPartition, CountOneBuildersDoNotAliasNodes) {
+  {
+    Circuit c;
+    add_supply(c);
+    build_chain(c, 1);
+    const auto p = partition_circuit(c);
+    check_invariants(c, p);
+    EXPECT_GE(p.block_count(), 3u);
+  }
+  {
+    Circuit c;
+    add_supply(c);
+    build_modulator(c, 1);
+    const auto p = partition_circuit(c);
+    check_invariants(c, p);
+    EXPECT_GE(p.block_count(), 4u);
+  }
+}
+
+// Reusing a netlist prefix in one circuit would silently alias nodes
+// between the two instances; the builders must refuse instead.
+TEST(EventPartition, DuplicatePrefixThrowsInsteadOfAliasing) {
+  Circuit c;
+  add_supply(c);
+  build_chain(c, 1, "dup_");
+  EXPECT_THROW(
+      {
+        nets::DelayStageOptions opt;
+        nets::build_delay_line_chain(c, 1, opt, "dup_");
+      },
+      std::invalid_argument);
+}
+
+}  // namespace

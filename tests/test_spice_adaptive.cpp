@@ -41,6 +41,34 @@ TEST(AdaptiveTransient, MatchesAnalyticRcResponse) {
   }
 }
 
+TEST(AdaptiveTransient, LandsStepsOnPulseBreakpoints) {
+  // A pulse edge inside an oversized step would be smeared across it;
+  // with honor_breakpoints (the default) the stepper must clamp so an
+  // accepted step ends exactly on each edge instant.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>(
+      "V1", in, c.ground(),
+      std::make_unique<PulseWave>(0.0, 1.0, 1e-3, 1e-4, 1e-4, 5e-4, 5e-3));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-7);
+  TransientOptions opt;
+  opt.t_stop = 3e-3;
+  opt.dt = 20e-6;
+  opt.adaptive = true;
+  opt.lte_tol = 1e-4;
+  Transient tr(c, opt);
+  tr.probe_voltage("out");
+  const auto res = tr.run();
+  for (const double bp : {1.0e-3, 1.1e-3, 1.6e-3, 1.7e-3}) {
+    double closest = 1e9;
+    for (const double t : res.time)
+      closest = std::min(closest, std::abs(t - bp));
+    EXPECT_LT(closest, 1e-15) << "no step landed on breakpoint " << bp;
+  }
+}
+
 TEST(AdaptiveTransient, UsesFewerStepsThanEquivalentFixedGrid) {
   // To reach similar accuracy on the exponential tail a fixed grid must
   // stay fine everywhere; the adaptive run coarsens as the waveform

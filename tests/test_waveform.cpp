@@ -1,12 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "spice/waveform.hpp"
 
 namespace {
 
 using namespace si::spice;
+
+/// Sorted, deduplicated breakpoints of `w` in (t0, t1].
+std::vector<double> bps(const Waveform& w, double t0, double t1) {
+  std::vector<double> out;
+  w.breakpoints(t0, t1, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void expect_bps(const std::vector<double>& got,
+                const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], 1e-18) << "breakpoint " << i;
+}
 
 TEST(Waveform, DcIsConstant) {
   DcWave w(2.5);
@@ -83,6 +101,55 @@ TEST(Waveform, TwoPhaseClockNonOverlap) {
   // Never both high: scan a full period.
   for (double t = 0.0; t < 200e-9; t += 0.5e-9)
     EXPECT_FALSE(p1->value(t) > 1.65 && p2->value(t) > 1.65) << "t=" << t;
+}
+
+TEST(WaveformBreakpoints, PulseEmitsFourEdgesPerPeriod) {
+  // delay 1us, rise 0.1us, width 0.3us, fall 0.1us, period 1us: edges at
+  // delay + k*T + {0, rise, rise+width, rise+width+fall}.
+  PulseWave w(0.0, 1.0, 1e-6, 0.1e-6, 0.1e-6, 0.3e-6, 1e-6);
+  expect_bps(bps(w, 0.0, 2.1e-6),
+             {1.0e-6, 1.1e-6, 1.4e-6, 1.5e-6, 2.0e-6, 2.1e-6});
+}
+
+TEST(WaveformBreakpoints, WindowIsHalfOpen) {
+  PulseWave w(0.0, 1.0, 0.0, 0.1e-6, 0.1e-6, 0.3e-6, 1e-6);
+  // t0 is exclusive: the edge exactly at t0 must not be re-emitted.
+  expect_bps(bps(w, 0.1e-6, 0.5e-6), {0.4e-6, 0.5e-6});
+  // t1 is inclusive (and the rise-start edge exactly at t0 = 0 is not):
+  expect_bps(bps(w, 0.0, 0.1e-6), {0.1e-6});
+  // Empty window between edges emits nothing.
+  EXPECT_TRUE(bps(w, 0.55e-6, 0.95e-6).empty());
+}
+
+TEST(WaveformBreakpoints, PwlEmitsKnots) {
+  PwlWave w({{0.0, 0.0}, {1.0, 2.0}, {3.0, -2.0}});
+  expect_bps(bps(w, 0.0, 10.0), {1.0, 3.0});
+  expect_bps(bps(w, -1.0, 0.5), {0.0});
+  EXPECT_TRUE(bps(w, 3.0, 10.0).empty());
+}
+
+TEST(WaveformBreakpoints, SineEmitsOnlyTurnOn) {
+  SineWave delayed(0.0, 1.0, 1e3, 2e-3);
+  expect_bps(bps(delayed, 0.0, 10e-3), {2e-3});
+  EXPECT_TRUE(bps(delayed, 2e-3, 10e-3).empty());  // (t0, t1] excludes t0
+  SineWave immediate(0.0, 1.0, 1e3);
+  EXPECT_TRUE(bps(immediate, 0.0, 10e-3).empty());
+}
+
+TEST(WaveformBreakpoints, DcEmitsNothing) {
+  DcWave w(1.0);
+  EXPECT_TRUE(bps(w, 0.0, 1.0).empty());
+}
+
+TEST(WaveformBreakpoints, ChangesBeginAtBreakpointsFlags) {
+  // Pulse trains and constants are flat between their breakpoints, so
+  // the event queue may skip per-step sampling; sine and PWL drift.
+  EXPECT_TRUE(PulseWave(0.0, 1.0, 0.0, 1e-9, 1e-9, 0.4e-6, 1e-6)
+                  .changes_begin_at_breakpoints());
+  EXPECT_TRUE(DcWave(1.0).changes_begin_at_breakpoints());
+  EXPECT_FALSE(SineWave(0.0, 1.0, 1e3).changes_begin_at_breakpoints());
+  EXPECT_FALSE(PwlWave({{0.0, 0.0}, {1.0, 1.0}})
+                   .changes_begin_at_breakpoints());
 }
 
 TEST(Waveform, ClockPeriodicity) {
