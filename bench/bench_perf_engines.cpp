@@ -19,6 +19,7 @@
 #include "spice/dc.hpp"
 #include "spice/mna.hpp"
 #include "spice/transient.hpp"
+#include "verify/verify.hpp"
 
 #include <chrono>
 #include <cstdlib>
@@ -200,6 +201,42 @@ void BM_MonteCarloCached(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * runs);
 }
 BENCHMARK(BM_MonteCarloCached)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Static verification (src/verify/) throughput: interval abstract
+// interpretation + property checkers over the Table 2 modulator core at
+// growing section counts.  The whole-deck analysis must stay well under
+// interactive latency (the quick gate below holds the largest netlist
+// to 100 ms).
+// ---------------------------------------------------------------------------
+
+si::spice::Circuit build_verify_modulator(int sections) {
+  namespace nets = si::cells::netlists;
+  si::spice::Circuit c;
+  c.add<si::spice::VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  nets::ModulatorCoreOptions opt;
+  const auto h = nets::build_modulator_core(c, sections, opt, "mod_");
+  c.add<si::spice::CurrentSource>("Iinp", c.ground(), h.in_p, 1e-6);
+  c.add<si::spice::CurrentSource>("Iinm", c.ground(), h.in_m, -1e-6);
+  return c;
+}
+
+void BM_VerifyModulator(benchmark::State& state) {
+  const auto c = build_verify_modulator(static_cast<int>(state.range(0)));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    auto r = si::verify::analyze(c);
+    nodes = r.stats.nodes;
+    benchmark::DoNotOptimize(r.findings.data());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_VerifyModulator)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Dense-vs-sparse MNA solver benchmarks on the paper's two transistor-level
@@ -461,6 +498,34 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
     event_rows.push_back(time_event_row("event_modulator_hold", 4, 10000.0,
                                         /*dc_hold=*/true, /*reps=*/1));
 
+  // Static-verification rows: whole-netlist interval analysis + property
+  // checkers on the modulator core across sizes.
+  struct VerifyRow {
+    int size = 0;
+    std::size_t nodes = 0, pairs = 0, segments = 0, findings = 0;
+    double analyze_ms = 0.0;
+  };
+  std::vector<VerifyRow> verify_rows;
+  for (int sections : {1, 2, 4, 8}) {
+    VerifyRow r;
+    r.size = sections;
+    const auto c = build_verify_modulator(sections);
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto vr = si::verify::analyze(c);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+      r.nodes = vr.stats.nodes;
+      r.pairs = vr.stats.pairs;
+      r.segments = vr.stats.segments;
+      r.findings = vr.findings.size();
+    }
+    r.analyze_ms = best;
+    verify_rows.push_back(r);
+  }
+
   std::ofstream os(out_path);
   os << "{\n  \"solver_bench\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -484,6 +549,15 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
        << ", \"steps_total\": " << r.steps_total
        << ", \"parity_maxerr\": " << r.parity_maxerr << "}"
        << (i + 1 < event_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"verify_bench\": [\n";
+  for (std::size_t i = 0; i < verify_rows.size(); ++i) {
+    const auto& r = verify_rows[i];
+    os << "    {\"workload\": \"verify_modulator\", \"size\": " << r.size
+       << ", \"nodes\": " << r.nodes << ", \"pairs\": " << r.pairs
+       << ", \"segments\": " << r.segments << ", \"findings\": " << r.findings
+       << ", \"analyze_ms\": " << r.analyze_ms << "}"
+       << (i + 1 < verify_rows.size() ? "," : "") << "\n";
   }
   os << "  ]";
   if (telemetry) {
@@ -542,6 +616,22 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
                    r.mono_ms / r.event_ms);
       rc = 1;
     }
+  }
+  for (const auto& r : verify_rows) {
+    std::printf(
+        "%-22s size=%d nodes=%zu pairs=%zu segments=%zu findings=%zu "
+        "analyze=%.2fms\n",
+        "verify_modulator", r.size, r.nodes, r.pairs, r.segments, r.findings,
+        r.analyze_ms);
+  }
+  // Gate: static verification of the largest modulator must stay
+  // interactive (< 100 ms for the whole-netlist analysis).
+  if (!verify_rows.empty() && verify_rows.back().analyze_ms > 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: verify analysis took %.2f ms (> 100 ms) on "
+                 "verify_modulator size=%d\n",
+                 verify_rows.back().analyze_ms, verify_rows.back().size);
+    rc = 1;
   }
   if (sweep_event_ms > sweep_mono_ms) {
     std::fprintf(stderr,

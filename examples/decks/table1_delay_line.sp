@@ -1,0 +1,32 @@
+* Table 1 second-generation class-AB SI delay line: two cascaded
+* memory cells on non-overlapping phases phi1 / phi2 at a 1 MHz clock
+* (20 ns underlap on each handoff).  The static verifier proves this
+* deck clean at the paper's 3.3 V supply: the worst-case supply floor
+* of Eqs. (1)-(2), the sampling overdrive, hold-phase saturation and
+* the signal range all hold over +/-2 % supply, +/-50 mV Vt and
+* +/-5 % beta / bias tolerances.
+.model nmem NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmem PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+
+Vdd vdd 0 DC 3.3
+
+* Stage 1: samples on phi1 (ON ~[21.5n, 498.5n] of each period).
+MN1 d1 gn1 0   nmem W=4u  L=4u
+MP1 d1 gp1 vdd pmem W=10u L=4u
+S1N gn1 d1 PULSE(0 3.3 20n 10n 10n 460n 1u) 1k 1g
+S1P gp1 d1 PULSE(0 3.3 20n 10n 10n 460n 1u) 1k 1g
+Ib1 0 d1 DC 10u
+Iin 0 d1 DC 2u
+
+* Stage 2: samples on phi2 (ON ~[521.5n, 998.5n]); the coupling switch
+* hands stage 1's held current over on the same phase.
+MN2 d2 gn2 0   nmem W=4u  L=4u
+MP2 d2 gp2 vdd pmem W=10u L=4u
+S2N gn2 d2 PULSE(0 3.3 520n 10n 10n 460n 1u) 1k 1g
+S2P gp2 d2 PULSE(0 3.3 520n 10n 10n 460n 1u) 1k 1g
+SC  d1  d2 PULSE(0 3.3 520n 10n 10n 460n 1u) 1k 1g
+Ib2 0 d2 DC 10u
+
+.op
+.probe v(d1) v(d2)
+.end

@@ -1,0 +1,32 @@
+* Table 2 first-order SI sigma-delta modulator section: a class-AB
+* integrator cell sampling on phi1, a diode/mirror pair that senses the
+* held output on phi2, and the mirror feeding back into the integrator
+* summing node on phi1 (the 1-bit DAC path, here at a fixed ratio).
+* Verifiably clean at 3.3 V: the interval interpreter resolves the
+* feedback loop to a fixpoint and every worst-case check passes.
+.model nmod NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmod PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+
+Vdd vdd 0 DC 3.3
+
+* Integrator memory pair, sampled on phi1.
+MN1 d1 gn1 0   nmod W=4u  L=4u
+MP1 d1 gp1 vdd pmod W=10u L=4u
+S1N gn1 d1 PULSE(0 3.3 20n 10n 10n 460n 1u) 1k 1g
+S1P gp1 d1 PULSE(0 3.3 20n 10n 10n 460n 1u) 1k 1g
+Ib1 0 d1 DC 10u
+Iin 0 d1 DC 2u
+
+* Sense diode: receives the integrator's held output on phi2 on top of
+* its own bias, and masters the feedback mirror.
+SC  d1 d2 PULSE(0 3.3 520n 10n 10n 460n 1u) 1k 1g
+MD  d2 d2 0 nmod W=4u L=4u
+IbD 0 d2 DC 10u
+
+* Feedback mirror (ratio 1:2), returned to the summing node on phi1.
+MM  df d2 0 nmod W=2u L=4u
+SF  df d1 PULSE(0 3.3 20n 10n 10n 460n 1u) 1k 1g
+
+.op
+.probe v(d1) v(d2)
+.end

@@ -1,0 +1,32 @@
+* Under-biased variant of the Table 2 modulator section: the supply is
+* lowered to 1.72 V, which still clears the *nominal* Eq. (1)-(2)
+* floor (1.72 > 0.8 + 0.8 + 0.1) but fails it in the worst case.  The
+* deep verifier flags si.supply-floor-worstcase with the reproducing
+* corner: Vdd at -2 % (1.6856 V) against both thresholds at +50 mV
+* (0.85 V each) leaves a negative sampling margin.  The shrunken
+* overdrive also trips si.overdrive-margin.  erc_lint --deep and
+* si_verify both exit nonzero on this deck.
+.model nmod NMOS (KP=100u VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+.model pmod PMOS (KP=40u  VTO=0.8 LAMBDA=0.02 CGS=0.15p)
+
+Vdd vdd 0 DC 1.72
+
+* Integrator memory pair, sampled on phi1.
+MN1 d1 gn1 0   nmod W=4u  L=4u
+MP1 d1 gp1 vdd pmod W=10u L=4u
+S1N gn1 d1 PULSE(0 1.72 20n 10n 10n 460n 1u) 1k 1g
+S1P gp1 d1 PULSE(0 1.72 20n 10n 10n 460n 1u) 1k 1g
+Ib1 0 d1 DC 10u
+Iin 0 d1 DC 2u
+
+* Sense diode on phi2 plus the feedback mirror on phi1, as in the
+* nominal-supply deck.
+SC  d1 d2 PULSE(0 1.72 520n 10n 10n 460n 1u) 1k 1g
+MD  d2 d2 0 nmod W=4u L=4u
+IbD 0 d2 DC 10u
+MM  df d2 0 nmod W=2u L=4u
+SF  df d1 PULSE(0 1.72 20n 10n 10n 460n 1u) 1k 1g
+
+.op
+.probe v(d1) v(d2)
+.end

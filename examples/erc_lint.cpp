@@ -9,6 +9,9 @@
 //   --suppress=RULE        drop a rule id (repeatable), e.g.
 //                          --suppress=spice.zero-source
 //   --no-si                generic SPICE rules only (skip the paper pack)
+//   --deep                 also run the static verification pack
+//                          (interval abstract interpretation with
+//                          witness-backed worst-case checks)
 //   --werror               exit nonzero on warnings too
 //
 // Exit status: 0 clean, 1 diagnostics at or above the failure
@@ -27,7 +30,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--min-severity=note|warning|error]\n"
-               "       [--suppress=RULE]... [--no-si] [--werror] deck.sp...\n";
+               "       [--suppress=RULE]... [--no-si] [--deep] [--werror] "
+               "deck.sp...\n";
   return 2;
 }
 
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--no-si") {
       opt.si_rules = false;
+    } else if (arg == "--deep") {
+      opt.deep = true;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg.rfind("--suppress=", 0) == 0) {

@@ -64,8 +64,25 @@ struct ErcOptions {
   /// Relative tolerance on the memory-pair beta match
   /// (si.classab-asymmetry).
   double pair_beta_tolerance = 0.05;
-  /// Time samples per clock period when testing switch phase overlap.
+  /// Time samples per clock period when testing switch phase overlap
+  /// with the legacy sampled scan (exact_clock_phase = false).
   int clock_samples = 128;
+  /// Detect switch phase overlap exactly on breakpoint-derived ON
+  /// interval sets instead of time-sampling (catches overlaps narrower
+  /// than period / clock_samples).
+  bool exact_clock_phase = true;
+  /// Enables the deep static-verification pack (src/verify/): interval
+  /// abstract interpretation of node voltages plus the witness-backed
+  /// si.supply-floor-worstcase / si.overdrive-margin /
+  /// si.region-violation / si.range-overflow checkers.
+  bool deep = false;
+  /// Tolerances for the deep pack.
+  double deep_supply_tol = 0.02;   ///< relative, on DC sources
+  double deep_vt_tol = 0.05;       ///< absolute [V], on thresholds
+  double deep_beta_tol = 0.05;     ///< relative, on device beta
+  double deep_current_tol = 0.05;  ///< relative, on current sources
+  double deep_min_overdrive = 0.05;  ///< required sampling overdrive [V]
+  double deep_rail_margin = 0.3;     ///< allowed rail excursion [V]
 };
 
 /// Runs every enabled rule over the circuit into `sink`.  `index`, if

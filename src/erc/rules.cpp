@@ -13,6 +13,8 @@
 
 #include "spice/elements.hpp"
 #include "spice/mosfet.hpp"
+#include "verify/phase.hpp"
+#include "verify/verify.hpp"
 
 namespace si::erc {
 
@@ -373,6 +375,30 @@ void check_clock_phases(Ctx& ctx, const std::vector<MemoryPair>& pairs) {
       const spice::Switch* sa = sampling_switch(a);
       const spice::Switch* sb = sampling_switch(b);
       if (!sa || !sb) continue;  // aperiodic (DC study) or diode cells
+      if (ctx.opt.exact_clock_phase) {
+        // Exact path: ON intervals from waveform breakpoints, overlap
+        // computed symbolically over the hyperperiod.  An overlap of
+        // any width — down to one representable instant — is caught.
+        const verify::OverlapReport rep = verify::phase_overlap(
+            verify::switch_phase(*sa), verify::switch_phase(*sb));
+        if (rep.overlap > 0.0) {
+          ctx.sink.report(
+              {Severity::kError, "si.clock-overlap",
+               "cascaded memory cells at nodes '" + ctx.c.node_name(a.drain) +
+                   "' and '" + ctx.c.node_name(b.drain) +
+                   "' sample on overlapping clock phases (" +
+                   fmt(rep.overlap * 1e9) + " ns of double-ON per " +
+                   fmt(rep.hyperperiod * 1e9) +
+                   " ns hyperperiod, non-overlap margin " +
+                   fmt(rep.margin * 1e9) + " ns): the chain is transparent, "
+                   "not a z^-1 delay",
+               ctx.line_of_element(sb->name()), sb->name(),
+               "clock the second cell on the opposite phase"});
+        }
+        continue;
+      }
+      // Legacy sampled scan (kept for exact_clock_phase = false): blind
+      // to overlaps narrower than period / clock_samples.
       const double period =
           std::max(sa->control().period(), sb->control().period());
       const int samples = std::max(8, ctx.opt.clock_samples);
@@ -395,6 +421,20 @@ void check_clock_phases(Ctx& ctx, const std::vector<MemoryPair>& pairs) {
       }
     }
   }
+}
+
+/// The deep static-verification pack: interval abstract interpretation
+/// plus the witness-backed property checkers from src/verify/.
+void check_deep(Ctx& ctx) {
+  verify::VerifyOptions vo;
+  vo.abs.supply_rel_tol = ctx.opt.deep_supply_tol;
+  vo.abs.vt_abs_tol = ctx.opt.deep_vt_tol;
+  vo.abs.beta_rel_tol = ctx.opt.deep_beta_tol;
+  vo.abs.current_rel_tol = ctx.opt.deep_current_tol;
+  vo.abs.rail_margin = ctx.opt.deep_rail_margin;
+  vo.min_overdrive = ctx.opt.deep_min_overdrive;
+  const verify::VerifyResult vr = verify::analyze(ctx.c, vo);
+  verify::report(vr, ctx.sink);
 }
 
 /// si.cmff-half-size: the CMFF extraction devices must be half the size
@@ -459,6 +499,7 @@ void check(const Circuit& c, DiagnosticSink& sink, const ErcOptions& opt,
     check_clock_phases(ctx, pairs);
     check_cmff_sizing(ctx);
   }
+  if (opt.deep) check_deep(ctx);
   sink.sort_by_line();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "spice/elements.hpp"
 
@@ -71,6 +72,23 @@ EventQueue::EventQueue(const spice::Circuit& c, const CircuitPartition& p,
           s.blocks.push_back(b);
       }
       std::sort(s.blocks.begin(), s.blocks.end());
+      // Exact on/off crossing instants of the control against the
+      // switch threshold, merged into the heap by push_next_breakpoint.
+      s.toggle_period = wave->period();
+      for (const auto& run : wave->on_intervals(sw->threshold())) {
+        if (run.begin > 0.0 && std::isfinite(run.begin))
+          s.toggles.push_back(run.begin);
+        if (std::isfinite(run.end)) {
+          double end = run.end;
+          // A run ending exactly on the period boundary toggles at the
+          // start of the next period: offset 0.
+          if (s.toggle_period > 0.0 && end >= s.toggle_period) end = 0.0;
+          if (end > 0.0 || s.toggle_period > 0.0) s.toggles.push_back(end);
+        }
+      }
+      std::sort(s.toggles.begin(), s.toggles.end());
+      s.toggles.erase(std::unique(s.toggles.begin(), s.toggles.end()),
+                      s.toggles.end());
     }
 
     const std::size_t idx = stimuli_.size();
@@ -81,8 +99,30 @@ EventQueue::EventQueue(const spice::Circuit& c, const CircuitPartition& p,
   fired_.assign(stimuli_.size(), 0);
 }
 
+double EventQueue::next_toggle(const Stimulus& s, double after) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (s.toggles.empty()) return kInf;
+  if (s.toggle_period <= 0.0) {
+    for (const double t : s.toggles)
+      if (t > after) return t;
+    return kInf;
+  }
+  const double base = std::floor(after / s.toggle_period) * s.toggle_period;
+  for (int k = 0; k < 3; ++k)
+    for (const double off : s.toggles) {
+      const double t = base + k * s.toggle_period + off;
+      if (t > after) return t;
+    }
+  return kInf;
+}
+
 void EventQueue::push_next_breakpoint(std::size_t stim, double after) {
-  const spice::Waveform& w = *stimuli_[stim].wave;
+  const Stimulus& s = stimuli_[stim];
+  const spice::Waveform& w = *s.wave;
+  // Exact switch-threshold crossings compete with the waveform's own
+  // breakpoints for the next event slot (one pending entry per
+  // stimulus, so push the earlier of the two).
+  const double toggle = next_toggle(s, after);
   // Window the query so periodic stimuli never enumerate breakpoints far
   // beyond the horizon; aperiodic ones are scanned to t_stop once.
   const double period = w.period();
@@ -93,8 +133,12 @@ void EventQueue::push_next_breakpoint(std::size_t stim, double after) {
     if (t1 <= t0) return;
     scratch_.clear();
     w.breakpoints(t0, t1, scratch_);
-    if (!scratch_.empty()) {
-      heap_.push({*std::min_element(scratch_.begin(), scratch_.end()), stim});
+    double cand = std::numeric_limits<double>::infinity();
+    if (!scratch_.empty())
+      cand = *std::min_element(scratch_.begin(), scratch_.end());
+    if (toggle > t0 && toggle <= t1) cand = std::min(cand, toggle);
+    if (cand <= t1) {
+      heap_.push({cand, stim});
       return;
     }
     if (t1 >= t_stop_) return;

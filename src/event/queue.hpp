@@ -50,6 +50,13 @@ class EventQueue {
     std::vector<int> blocks;  ///< partition blocks this stimulus drives
     double last_value = 0.0;  ///< value at the last firing
     bool hot = false;         ///< inside a breakpoint-opened ramp window
+    /// Switch stimuli only: exact threshold-crossing instants from
+    /// Waveform::on_intervals — per-period offsets when toggle_period is
+    /// positive, absolute instants otherwise.  Merged into the heap so a
+    /// switch toggle is an event even when the crossing falls strictly
+    /// between breakpoints (smooth controls) or off the sample grid.
+    std::vector<double> toggles;
+    double toggle_period = 0.0;
   };
 
   /// Indices of stimuli whose waveforms can drift between breakpoints
@@ -60,6 +67,9 @@ class EventQueue {
   /// sources).
 
   void push_next_breakpoint(std::size_t stim, double after);
+  /// Earliest toggle instant of `s` strictly after `after` (+inf when
+  /// none / not a switch stimulus).
+  double next_toggle(const Stimulus& s, double after) const;
   void mark(const Stimulus& s, std::vector<unsigned char>& stimulated) const;
 
   std::vector<std::size_t> sampled_;

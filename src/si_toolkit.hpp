@@ -59,3 +59,6 @@
 #include "spice/parser.hpp"
 #include "spice/transient.hpp"
 #include "spice/waveform.hpp"
+#include "verify/interval.hpp"
+#include "verify/phase.hpp"
+#include "verify/verify.hpp"

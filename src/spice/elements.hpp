@@ -231,6 +231,12 @@ class Switch final : public Element {
 
   /// The controlling clock waveform (never null).
   const Waveform& control() const { return *ctrl_; }
+  /// Control level above which the switch is closed (is_on).
+  double threshold() const { return threshold_; }
+  double r_on() const { return 1.0 / g_on_; }
+  double r_off() const { return 1.0 / g_off_; }
+  NodeId p() const { return p_; }
+  NodeId m() const { return m_; }
 
  private:
   double conductance_at(double t, AnalysisMode mode) const;

@@ -2,9 +2,154 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 namespace si::spice {
+
+namespace {
+
+/// Bisects the on/off transition inside [a, b] where the states at the
+/// endpoints differ, down to one ULP.  Returns the earliest instant
+/// classified with the state of `b` — the boundary owned by the new
+/// state, matching the closed-open interval convention.
+double bisect_crossing(const Waveform& w, double threshold, double a,
+                       double b) {
+  const bool on_b = w.value(b) > threshold;
+  for (;;) {
+    const double m = a + (b - a) * 0.5;
+    if (m <= a || m >= b) return b;
+    ((w.value(m) > threshold) == on_b ? b : a) = m;
+  }
+}
+
+/// Resolves the ON runs of `w` over [t0, t1), appending them to `out`
+/// (un-merged; the caller merges adjacent runs).  `sub` bounds the
+/// sampling pitch inside breakpoint-free spans for smooth waveforms.
+void scan_on_runs(const Waveform& w, double threshold, double t0, double t1,
+                  double sub, std::vector<TimeInterval>& out) {
+  std::vector<double> marks;
+  marks.push_back(t0);
+  w.breakpoints(t0, t1, marks);
+  marks.push_back(t1);
+  std::sort(marks.begin(), marks.end());
+  marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+
+  bool on = w.value(t0) > threshold;
+  double run_begin = t0;
+  const auto close_run = [&](double at) {
+    if (on) out.push_back({run_begin, at});
+  };
+
+  for (std::size_t k = 0; k + 1 < marks.size(); ++k) {
+    const double a = marks[k];
+    const double b = marks[k + 1];
+    if (b <= a) continue;
+    // A breakpoint may carry a jump: value(a) already belongs to this
+    // span (pulse edges evaluate post-jump at the edge instant).
+    const bool on_a = w.value(a) > threshold;
+    if (on_a != on) {
+      close_run(a);
+      on = on_a;
+      run_begin = a;
+    }
+    // Between breakpoints the waveform is continuous; exact waveforms
+    // (changes_begin_at_breakpoints) are monotone or flat there, so the
+    // endpoint states plus one bisection per sign change resolve the
+    // span.  Smooth waveforms get pre-sampled at `sub` pitch.
+    const int pieces =
+        w.changes_begin_at_breakpoints()
+            ? 1
+            : std::max(1, static_cast<int>(std::ceil((b - a) / sub)));
+    double prev_t = a;
+    bool prev_on = on_a;
+    for (int j = 1; j <= pieces; ++j) {
+      const double t =
+          j == pieces ? b : a + (b - a) * static_cast<double>(j) /
+                                    static_cast<double>(pieces);
+      // The right endpoint of the span belongs to the next breakpoint
+      // span; probe just inside to dodge the jump there.
+      const double probe = j == pieces ? a + (b - a) * (1.0 - 1e-12) : t;
+      const bool t_on = w.value(probe) > threshold;
+      if (t_on != prev_on) {
+        const double cross = bisect_crossing(w, threshold, prev_t, probe);
+        close_run(cross);
+        on = t_on;
+        run_begin = cross;
+      }
+      prev_t = t;
+      prev_on = t_on;
+    }
+  }
+  close_run(t1);
+}
+
+/// Merges abutting runs ([a,b) followed by [b,c) becomes [a,c)).
+void merge_runs(std::vector<TimeInterval>& runs) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].end <= runs[r].begin) continue;
+    if (w > 0 && runs[r].begin <= runs[w - 1].end) {
+      runs[w - 1].end = std::max(runs[w - 1].end, runs[r].end);
+    } else {
+      runs[w++] = runs[r];
+    }
+  }
+  runs.resize(w);
+}
+
+/// True when the two normalised interval lists agree to within `tol`.
+bool runs_equal(const std::vector<TimeInterval>& a,
+                const std::vector<TimeInterval>& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    if (std::abs(a[k].begin - b[k].begin) > tol ||
+        std::abs(a[k].end - b[k].end) > tol)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<TimeInterval> Waveform::on_intervals(double threshold,
+                                                 double horizon) const {
+  const double p = period();
+  if (p <= 0.0) {
+    // Aperiodic: resolve [0, horizon] and extend the trailing state.
+    std::vector<TimeInterval> runs;
+    if (horizon <= 0.0) horizon = 1.0;
+    scan_on_runs(*this, threshold, 0.0, horizon, horizon / 64.0, runs);
+    merge_runs(runs);
+    if (!runs.empty() && runs.back().end >= horizon &&
+        value(horizon) > threshold)
+      runs.back().end = std::numeric_limits<double>::infinity();
+    else if (runs.empty() && value(horizon) > threshold)
+      runs.push_back({0.0, std::numeric_limits<double>::infinity()});
+    return runs;
+  }
+
+  // Periodic: scan window [k·P, (k+1)·P), normalise to [0, P), and
+  // advance k until two consecutive windows agree — that window is the
+  // steady-state pattern (start-up delay shorter than k periods).
+  const auto window = [&](int k) {
+    std::vector<TimeInterval> runs;
+    const double base = static_cast<double>(k) * p;
+    scan_on_runs(*this, threshold, base, base + p, p / 64.0, runs);
+    for (TimeInterval& r : runs) {
+      r.begin -= base;
+      r.end -= base;
+    }
+    merge_runs(runs);
+    return runs;
+  };
+  std::vector<TimeInterval> prev = window(1);
+  for (int k = 2; k <= 32; ++k) {
+    std::vector<TimeInterval> cur = window(k);
+    if (runs_equal(prev, cur, 1e-12 * p)) return cur;
+    prev = std::move(cur);
+  }
+  return prev;
+}
 
 SineWave::SineWave(double offset, double amplitude, double freq_hz,
                    double delay, double phase_rad)

@@ -9,6 +9,15 @@
 
 namespace si::spice {
 
+/// One closed-open [begin, end) span of time, in seconds.  Produced by
+/// Waveform::on_intervals; `end` may be +infinity for aperiodic
+/// waveforms that stay above threshold forever.
+struct TimeInterval {
+  double begin = 0.0;
+  double end = 0.0;
+  double length() const { return end - begin; }
+};
+
 /// A scalar function of time used to drive sources and switches.
 class Waveform {
  public:
@@ -38,6 +47,25 @@ class Waveform {
   /// every step; waveforms that drift between breakpoints (sine, PWL
   /// ramps) keep the default and stay under per-step drift detection.
   virtual bool changes_begin_at_breakpoints() const { return false; }
+
+  /// The exact closed-open intervals where value(t) > threshold.
+  ///
+  /// Periodic waveforms (period() > 0) return the steady-state pattern
+  /// of one period, normalised to [0, period()): start-up transients
+  /// (pulse delay) are skipped by scanning forward until two
+  /// consecutive periods agree.  Aperiodic waveforms are resolved over
+  /// [0, horizon]; when the value is still above threshold past the
+  /// last breakpoint the final interval extends to +infinity.
+  ///
+  /// Crossing instants are located by bisection between breakpoints to
+  /// one ULP, so overlap/underlap measures derived from two interval
+  /// sets are exact at double precision — unlike fixed-rate sampling,
+  /// which misses any feature narrower than its grid.  Waveforms with
+  /// changes_begin_at_breakpoints() are resolved exactly; smooth
+  /// waveforms (sine) are pre-sampled at period/64 between breakpoints,
+  /// so grazing excursions narrower than that may be missed.
+  std::vector<TimeInterval> on_intervals(double threshold,
+                                         double horizon = 1.0) const;
 };
 
 /// Constant value.

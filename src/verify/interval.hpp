@@ -1,0 +1,170 @@
+// Outward-rounded interval arithmetic: the abstract value domain of the
+// static circuit verifier.  An Interval is a closed [lo, hi] range of
+// reals (empty when lo > hi); every arithmetic result is widened by one
+// ULP on each side, so the computed interval always contains the exact
+// real result of any point selection from the operands — the soundness
+// invariant the fixpoint engine and the property checkers build on.
+//
+// The lattice is the usual one: bottom = empty, top = [-inf, +inf],
+// join = convex hull, meet = intersection.  widen() accelerates
+// ascending chains: a bound that grew since the last visit jumps to the
+// supplied landmark (typically the supply-rail window) and then to
+// infinity, guaranteeing termination on feedback loops.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace si::verify {
+
+/// One ULP below v (no-op on -inf).
+inline double round_down(double v) {
+  return std::nextafter(v, -std::numeric_limits<double>::infinity());
+}
+
+/// One ULP above v (no-op on +inf).
+inline double round_up(double v) {
+  return std::nextafter(v, std::numeric_limits<double>::infinity());
+}
+
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();   ///< empty by default
+  double hi = -std::numeric_limits<double>::infinity();
+
+  static Interval empty() { return {}; }
+  static Interval top() {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  static Interval point(double v) { return {v, v}; }
+  /// Sorted construction: make(3, 1) == [1, 3].
+  static Interval make(double a, double b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+  /// v scaled by a symmetric relative tolerance: v * [1-tol, 1+tol].
+  static Interval around_rel(double v, double tol) {
+    const Interval s = point(v) * make(1.0 - tol, 1.0 + tol);
+    return s;
+  }
+  /// v with a symmetric absolute tolerance: [v-tol, v+tol].
+  static Interval around_abs(double v, double tol) {
+    return {round_down(v - tol), round_up(v + tol)};
+  }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_point() const { return lo == hi; }
+  bool is_top() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+  bool contains(double v) const { return !is_empty() && lo <= v && v <= hi; }
+  bool contains(const Interval& o) const {
+    return o.is_empty() || (!is_empty() && lo <= o.lo && o.hi <= hi);
+  }
+  double width() const { return is_empty() ? 0.0 : hi - lo; }
+  double mid() const { return is_empty() ? 0.0 : lo + (hi - lo) * 0.5; }
+
+  bool operator==(const Interval& o) const {
+    return (is_empty() && o.is_empty()) || (lo == o.lo && hi == o.hi);
+  }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  friend Interval operator-(const Interval& a) {
+    if (a.is_empty()) return empty();
+    return {-a.hi, -a.lo};
+  }
+  friend Interval operator+(const Interval& a, const Interval& b) {
+    if (a.is_empty() || b.is_empty()) return empty();
+    return {round_down(a.lo + b.lo), round_up(a.hi + b.hi)};
+  }
+  friend Interval operator-(const Interval& a, const Interval& b) {
+    return a + (-b);
+  }
+  friend Interval operator*(const Interval& a, const Interval& b) {
+    if (a.is_empty() || b.is_empty()) return empty();
+    const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+    double lo = c[0], hi = c[0];
+    for (const double v : c) {
+      // 0 * inf at a corner is indeterminate in the reals; treat it as
+      // the full sign range of the other factor's contribution.
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (std::isnan(lo) || std::isnan(hi)) return top();
+    return {round_down(lo), round_up(hi)};
+  }
+  /// Division.  A denominator that is exactly [0, 0] has no finite
+  /// quotient: the result is empty (bottom).  A denominator that merely
+  /// contains zero makes the quotient unbounded: the result is top.
+  friend Interval operator/(const Interval& a, const Interval& b) {
+    if (a.is_empty() || b.is_empty()) return empty();
+    if (b.lo == 0.0 && b.hi == 0.0) return empty();
+    if (b.contains(0.0)) return top();
+    const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+    const double lo = *std::min_element(c, c + 4);
+    const double hi = *std::max_element(c, c + 4);
+    return {round_down(lo), round_up(hi)};
+  }
+};
+
+/// Lattice join: smallest interval containing both.
+inline Interval join(const Interval& a, const Interval& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Lattice meet: intersection (possibly empty).
+inline Interval meet(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+/// sqrt over the non-negative part of `a`; empty when a < 0 throughout.
+inline Interval sqrt(const Interval& a) {
+  if (a.is_empty() || a.hi < 0.0) return Interval::empty();
+  const double lo = a.lo <= 0.0 ? 0.0 : round_down(std::sqrt(a.lo));
+  return {std::max(lo, 0.0), round_up(std::sqrt(a.hi))};
+}
+
+inline Interval min(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Interval max(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Standard widening with a landmark window: a bound of `next` that
+/// grew past the matching bound of `prev` first jumps to the landmark
+/// (when it still covers the growth), then to infinity.  The landmark
+/// is the physically meaningful ceiling — the supply-rail window — so
+/// one widening step usually lands on the final answer instead of
+/// destroying all information.  Chains strictly ascend through at most
+/// {value, landmark, inf} per bound, so every widening sequence is
+/// finite regardless of the transfer functions driving it.
+inline Interval widen(const Interval& prev, const Interval& next,
+                      const Interval& landmark = Interval::empty()) {
+  if (prev.is_empty()) return next;
+  if (next.is_empty()) return prev;
+  Interval w = join(prev, next);
+  if (w.lo < prev.lo)
+    w.lo = (!landmark.is_empty() && landmark.lo <= w.lo)
+               ? landmark.lo
+               : -std::numeric_limits<double>::infinity();
+  if (w.hi > prev.hi)
+    w.hi = (!landmark.is_empty() && landmark.hi >= w.hi)
+               ? landmark.hi
+               : std::numeric_limits<double>::infinity();
+  return w;
+}
+
+/// "[lo, hi]" with %g formatting, or "empty" / "top".
+std::string to_string(const Interval& v);
+
+}  // namespace si::verify

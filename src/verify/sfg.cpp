@@ -1,0 +1,177 @@
+#include "verify/sfg.hpp"
+
+#include <algorithm>
+
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+
+namespace si::verify {
+
+namespace {
+
+using spice::Element;
+using spice::NodeId;
+using spice::Terminal;
+
+void add_edge(Sfg& g, NodeId from, NodeId to, std::size_t elem) {
+  if (from == to) return;
+  g.edges.push_back({static_cast<int>(from), static_cast<int>(to), elem});
+}
+
+void add_both(Sfg& g, NodeId a, NodeId b, std::size_t elem) {
+  add_edge(g, a, b, elem);
+  add_edge(g, b, a, elem);
+}
+
+/// Iterative Tarjan SCC (explicit stack: deck-sized circuits can nest
+/// deeper than the call stack on small-thread builds).
+struct Tarjan {
+  const std::vector<std::vector<int>>& succ;
+  std::vector<int> index, lowlink, scc;
+  std::vector<unsigned char> on_stack;
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_scc = 0;
+
+  explicit Tarjan(const std::vector<std::vector<int>>& s)
+      : succ(s),
+        index(s.size(), -1),
+        lowlink(s.size(), 0),
+        scc(s.size(), -1),
+        on_stack(s.size(), 0) {}
+
+  void run(int root) {
+    struct Frame {
+      int node;
+      std::size_t child;
+    };
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    on_stack[static_cast<std::size_t>(root)] = 1;
+    stack.push_back(root);
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto n = static_cast<std::size_t>(f.node);
+      if (f.child < succ[n].size()) {
+        const int m = succ[n][f.child++];
+        const auto mu = static_cast<std::size_t>(m);
+        if (index[mu] < 0) {
+          index[mu] = next_index;
+          lowlink[mu] = next_index;
+          ++next_index;
+          on_stack[mu] = 1;
+          stack.push_back(m);
+          frames.push_back({m, 0});
+        } else if (on_stack[mu]) {
+          lowlink[n] = std::min(lowlink[n], index[mu]);
+        }
+      } else {
+        if (lowlink[n] == index[n]) {
+          for (;;) {
+            const int m = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(m)] = 0;
+            scc[static_cast<std::size_t>(m)] = next_scc;
+            if (m == f.node) break;
+          }
+          ++next_scc;
+        }
+        const int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const auto p = static_cast<std::size_t>(frames.back().node);
+          lowlink[p] =
+              std::min(lowlink[p], lowlink[static_cast<std::size_t>(done)]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Sfg build_sfg(const spice::Circuit& c) {
+  Sfg g;
+  g.node_count = c.node_count();
+
+  const auto& elems = c.elements();
+  for (std::size_t k = 0; k < elems.size(); ++k) {
+    const Element& e = *elems[k];
+    if (const auto* m = dynamic_cast<const spice::Mosfet*>(&e)) {
+      add_both(g, m->drain(), m->source(), k);
+      add_edge(g, m->gate(), m->drain(), k);
+      add_edge(g, m->gate(), m->source(), k);
+      continue;
+    }
+    const std::vector<Terminal> terms = e.terminals();
+    if (dynamic_cast<const spice::Vccs*>(&e) ||
+        dynamic_cast<const spice::Vcvs*>(&e)) {
+      // Output pair first, sensing pair second (element convention):
+      // sensing nodes influence the outputs, never the reverse.
+      if (terms.size() >= 4) {
+        for (std::size_t s = 2; s < 4; ++s)
+          for (std::size_t o = 0; o < 2; ++o)
+            add_edge(g, terms[s].node, terms[o].node, k);
+      }
+      if (dynamic_cast<const spice::Vcvs*>(&e) && terms.size() >= 2)
+        add_both(g, terms[0].node, terms[1].node, k);
+      continue;
+    }
+    if (dynamic_cast<const spice::Capacitor*>(&e)) continue;  // DC-blocking
+    if (dynamic_cast<const spice::CurrentSource*>(&e)) continue;
+    // Everything else with >= 2 terminals couples its non-blocking
+    // terminals both ways: R, L-like branches, switches, voltage
+    // sources, and the output branches of F/H elements.
+    for (std::size_t a = 0; a < terms.size(); ++a) {
+      if (terms[a].dc_blocking) continue;
+      for (std::size_t b = a + 1; b < terms.size(); ++b) {
+        if (terms[b].dc_blocking) continue;
+        add_both(g, terms[a].node, terms[b].node, k);
+      }
+    }
+  }
+
+  g.succ.assign(g.node_count, {});
+  for (const SfgEdge& e : g.edges)
+    g.succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+  for (auto& s : g.succ) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  Tarjan t(g.succ);
+  for (std::size_t n = 0; n < g.node_count; ++n)
+    if (t.index[n] < 0) t.run(static_cast<int>(n));
+  g.scc_id = std::move(t.scc);
+
+  // Tarjan numbers SCCs in reverse topological order: sinks get low
+  // ids.  Sorting by descending SCC id puts sources (ground, rails)
+  // first — the DC dependency order the interpreter wants.
+  g.order.resize(g.node_count);
+  for (std::size_t n = 0; n < g.node_count; ++n)
+    g.order[n] = static_cast<int>(n);
+  std::sort(g.order.begin(), g.order.end(), [&](int a, int b) {
+    const int sa = g.scc_id[static_cast<std::size_t>(a)];
+    const int sb = g.scc_id[static_cast<std::size_t>(b)];
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  g.is_feedback.assign(g.node_count, 0);
+  std::vector<int> scc_size;
+  for (const int id : g.scc_id) {
+    if (static_cast<std::size_t>(id) >= scc_size.size())
+      scc_size.resize(static_cast<std::size_t>(id) + 1, 0);
+    ++scc_size[static_cast<std::size_t>(id)];
+  }
+  for (std::size_t n = 0; n < g.node_count; ++n)
+    if (scc_size[static_cast<std::size_t>(g.scc_id[n])] > 1)
+      g.is_feedback[n] = 1;
+
+  return g;
+}
+
+}  // namespace si::verify

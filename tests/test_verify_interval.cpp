@@ -1,0 +1,164 @@
+// Edge cases of the outward-rounded interval domain: empty
+// propagation through every operator, division by zero-containing
+// denominators, outward rounding, lattice laws, and termination of the
+// widening operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "verify/interval.hpp"
+
+namespace {
+
+using si::verify::Interval;
+using si::verify::join;
+using si::verify::meet;
+using si::verify::widen;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Interval, DefaultIsEmptyAndFactoriesClassify) {
+  EXPECT_TRUE(Interval{}.is_empty());
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_TRUE(Interval::top().is_top());
+  EXPECT_TRUE(Interval::point(2.5).is_point());
+  EXPECT_EQ(Interval::make(3.0, 1.0).lo, 1.0);  // sorted construction
+  EXPECT_EQ(Interval::make(3.0, 1.0).hi, 3.0);
+}
+
+TEST(Interval, EmptyPropagatesThroughEveryOperator) {
+  const Interval e = Interval::empty();
+  const Interval a = Interval::make(1.0, 2.0);
+  EXPECT_TRUE((e + a).is_empty());
+  EXPECT_TRUE((a - e).is_empty());
+  EXPECT_TRUE((e * a).is_empty());
+  EXPECT_TRUE((a / e).is_empty());
+  EXPECT_TRUE((-e).is_empty());
+  EXPECT_TRUE(si::verify::sqrt(e).is_empty());
+  EXPECT_TRUE(si::verify::min(e, a).is_empty());
+  EXPECT_TRUE(si::verify::max(a, e).is_empty());
+  // join/meet treat empty as the lattice bottom, not as poison.
+  EXPECT_EQ(join(e, a), a);
+  EXPECT_TRUE(meet(e, a).is_empty());
+}
+
+TEST(Interval, OutwardRoundingContainsExactResult) {
+  // 0.1 + 0.2 != 0.3 in binary; the outward-rounded sum must still
+  // contain the real-number result.
+  const Interval s = Interval::point(0.1) + Interval::point(0.2);
+  EXPECT_LE(s.lo, 0.3);
+  EXPECT_GT(s.hi, 0.3);
+  EXPECT_LT(s.lo, s.hi);  // strictly widened around the float sum
+  EXPECT_TRUE(s.contains(0.1 + 0.2));
+  // Same for products and quotients of awkward values.
+  const Interval p = Interval::point(1.0 / 3.0) * Interval::point(3.0);
+  EXPECT_TRUE(p.contains(1.0));
+  const Interval q = Interval::point(1.0) / Interval::point(3.0);
+  EXPECT_TRUE(q.contains(1.0 / 3.0));
+  EXPECT_LT(q.lo, q.hi);  // strictly widened
+}
+
+TEST(Interval, MultiplicationCoversSignCases) {
+  const Interval m = Interval::make(-2.0, 3.0) * Interval::make(-5.0, 4.0);
+  EXPECT_LE(m.lo, -15.0);  // 3 * -5
+  EXPECT_GE(m.hi, 12.0);   // 3 * 4
+  // 0 * inf corner: [0,1] * top must stay top, not NaN.
+  const Interval zt = Interval::make(0.0, 1.0) * Interval::top();
+  EXPECT_TRUE(zt.is_top());
+}
+
+TEST(Interval, DivisionByZeroContainingDenominator) {
+  const Interval num = Interval::make(1.0, 2.0);
+  // Exactly zero: no finite quotient exists — bottom.
+  EXPECT_TRUE((num / Interval::point(0.0)).is_empty());
+  // Spanning zero: quotient unbounded — top.
+  EXPECT_TRUE((num / Interval::make(-1.0, 1.0)).is_top());
+  // Touching zero at one end also spans in the closed-interval sense.
+  EXPECT_TRUE((num / Interval::make(0.0, 1.0)).is_top());
+  // Bounded away from zero: ordinary division.
+  const Interval q = num / Interval::make(2.0, 4.0);
+  EXPECT_TRUE(q.contains(0.25));
+  EXPECT_TRUE(q.contains(1.0));
+  EXPECT_FALSE(q.contains(1.5));
+}
+
+TEST(Interval, SqrtClampsNegativePart) {
+  EXPECT_TRUE(si::verify::sqrt(Interval::make(-2.0, -1.0)).is_empty());
+  const Interval r = si::verify::sqrt(Interval::make(-1.0, 4.0));
+  EXPECT_EQ(r.lo, 0.0);
+  EXPECT_TRUE(r.contains(2.0));
+}
+
+TEST(Interval, JoinMeetLatticeLaws) {
+  const Interval a = Interval::make(0.0, 2.0);
+  const Interval b = Interval::make(1.0, 3.0);
+  EXPECT_EQ(join(a, b), Interval::make(0.0, 3.0));
+  EXPECT_EQ(meet(a, b), Interval::make(1.0, 2.0));
+  EXPECT_EQ(join(a, b), join(b, a));
+  EXPECT_EQ(meet(a, b), meet(b, a));
+  // Absorption: a join (a meet b) == a.
+  EXPECT_EQ(join(a, meet(a, b)), a);
+  // Disjoint meet is empty.
+  EXPECT_TRUE(meet(Interval::make(0.0, 1.0), Interval::make(2.0, 3.0))
+                  .is_empty());
+  EXPECT_TRUE(Interval::make(0.0, 3.0).contains(b));
+}
+
+TEST(Interval, WideningTerminatesThroughLandmarkThenInfinity) {
+  const Interval landmark = Interval::make(-0.3, 3.6);  // rail window
+  Interval v = Interval::make(1.0, 1.1);
+  // A chain that grows every step must stabilize in finitely many
+  // widenings: value -> landmark -> infinity per bound.
+  int changes = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const Interval grown =
+        Interval::make(v.lo - 0.01 * i, v.hi + 0.01 * i);
+    const Interval w = widen(v, grown, landmark);
+    if (w != v) ++changes;
+    ASSERT_TRUE(w.contains(grown));  // widening never loses states
+    v = w;
+  }
+  EXPECT_LE(changes, 2);  // one jump to the landmark, one to top
+  EXPECT_EQ(v.lo, -kInf);
+  EXPECT_EQ(v.hi, kInf);
+}
+
+TEST(Interval, WideningLandsOnLandmarkWhenItCoversTheGrowth) {
+  const Interval landmark = Interval::make(-0.3, 3.6);
+  const Interval prev = Interval::make(1.0, 2.0);
+  const Interval next = Interval::make(0.5, 2.5);
+  const Interval w = widen(prev, next, landmark);
+  EXPECT_EQ(w, landmark);
+  // Without a landmark the grown bounds go straight to infinity.
+  const Interval w2 = widen(prev, next);
+  EXPECT_EQ(w2.lo, -kInf);
+  EXPECT_EQ(w2.hi, kInf);
+  // A stable bound is left untouched.
+  const Interval w3 = widen(prev, Interval::make(1.2, 2.5), landmark);
+  EXPECT_EQ(w3.lo, 1.0);
+  EXPECT_EQ(w3.hi, 3.6);
+}
+
+TEST(Interval, ToleranceConstructors) {
+  const Interval r = Interval::around_rel(3.3, 0.02);
+  EXPECT_TRUE(r.contains(3.3 * 0.98));
+  EXPECT_TRUE(r.contains(3.3 * 1.02));
+  EXPECT_FALSE(r.contains(3.2));
+  const Interval a = Interval::around_abs(0.8, 0.05);
+  EXPECT_TRUE(a.contains(0.75));
+  EXPECT_TRUE(a.contains(0.85));
+  EXPECT_FALSE(a.contains(0.7));
+  // Negative nominal with relative tolerance keeps orientation.
+  const Interval n = Interval::around_rel(-5e-6, 0.05);
+  EXPECT_TRUE(n.contains(-5.25e-6));
+  EXPECT_TRUE(n.contains(-4.75e-6));
+}
+
+TEST(Interval, ToStringRendersSpecialValues) {
+  EXPECT_EQ(si::verify::to_string(Interval::empty()), "empty");
+  EXPECT_EQ(si::verify::to_string(Interval::top()), "top");
+  EXPECT_EQ(si::verify::to_string(Interval::make(1.0, 2.0)), "[1, 2]");
+}
+
+}  // namespace

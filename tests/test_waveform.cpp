@@ -152,6 +152,52 @@ TEST(WaveformBreakpoints, ChangesBeginAtBreakpointsFlags) {
                    .changes_begin_at_breakpoints());
 }
 
+TEST(WaveformOnIntervals, PulseCrossingsResolvedOnTheRamps) {
+  // 0->3.3 pulse, 10 ns edges: the 1.65 V threshold is crossed halfway
+  // up the rise (25 ns) and halfway down the fall (495 ns).
+  PulseWave w(0.0, 3.3, 20e-9, 10e-9, 10e-9, 460e-9, 1e-6);
+  const auto on = w.on_intervals(1.65);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_NEAR(on[0].begin, 25e-9, 1e-15);
+  EXPECT_NEAR(on[0].end, 495e-9, 1e-15);
+}
+
+TEST(WaveformOnIntervals, SubSampleSliverIsNotMissed) {
+  // A 1 fs pulse — five orders of magnitude below any period/64
+  // sampling pitch — must still produce its ON run, exactly sized.
+  PulseWave w(0.0, 1.0, 0.0, 0.0, 0.0, 1e-15, 1e-6);
+  const auto on = w.on_intervals(0.5);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_NEAR(on[0].length(), 1e-15, 1e-18);
+}
+
+TEST(WaveformOnIntervals, PeriodicPatternIsNormalisedToOnePeriod) {
+  // Second-phase clock: ON [520, 980) ns of every 1 us period.  The
+  // steady-state pattern is reported normalised to [0, period).
+  PulseWave w(0.0, 1.0, 520e-9, 0.0, 0.0, 460e-9, 1e-6);
+  const auto on = w.on_intervals(0.5);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_NEAR(on[0].begin, 520e-9, 1e-12);
+  EXPECT_NEAR(on[0].end, 980e-9, 1e-12);
+  EXPECT_LT(on[0].end, 1e-6);
+}
+
+TEST(WaveformOnIntervals, AperiodicTailExtendsToInfinity) {
+  // A constant above threshold is ON forever.
+  const auto dc_on = DcWave(1.0).on_intervals(0.5);
+  ASSERT_EQ(dc_on.size(), 1u);
+  EXPECT_EQ(dc_on[0].begin, 0.0);
+  EXPECT_TRUE(std::isinf(dc_on[0].end));
+  EXPECT_TRUE(DcWave(0.2).on_intervals(0.5).empty());
+  // A ramp that settles above threshold: one run from the crossing,
+  // open-ended.
+  PwlWave ramp({{0.0, 0.0}, {1e-3, 1.0}});
+  const auto on = ramp.on_intervals(0.5, 2e-3);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_NEAR(on[0].begin, 0.5e-3, 1e-9);
+  EXPECT_TRUE(std::isinf(on[0].end));
+}
+
 TEST(Waveform, ClockPeriodicity) {
   const TwoPhaseClock clk{1e-6, 1.0, 0.0, 5e-9, 10e-9};
   const auto p1 = clk.phase1();
