@@ -3,6 +3,7 @@
 // modulator and delay-line throughput.
 #include <benchmark/benchmark.h>
 
+#include "analysis/mc_batch.hpp"
 #include "analysis/monte_carlo.hpp"
 #include "dsm/adc.hpp"
 #include "dsm/modulator.hpp"
@@ -449,6 +450,94 @@ EventRow time_event_row(const std::string& workload, int sections,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Batched Monte-Carlo rows: trials/sec of the mismatch-offset DC
+// ensemble (analysis::modulator_mismatch_workload) on the Table 2
+// modulator core, three ways —
+//  * rebuild_tps — the pre-batching per-trial path: every trial builds
+//    its own circuit and runs the full gmin-stepping ladder cold;
+//  * scalar_tps  — monte_carlo_dc at batch=1: structure-shared scalar
+//    solves over the one nominal symbolic factorization;
+//  * batched_tps — monte_carlo_dc at batch=8: SoA lanes through
+//    BatchedSparseLu.
+// All three produce bit-identical samples; only throughput differs.
+// ---------------------------------------------------------------------------
+
+struct McBatchRow {
+  int size = 0;
+  std::size_t unknowns = 0;
+  int runs = 0;
+  unsigned threads = 0;
+  std::size_t batch = 0;
+  double rebuild_tps = 0.0;
+  double scalar_tps = 0.0;
+  double batched_tps = 0.0;
+};
+
+double time_once(const std::function<void()>& run) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+McBatchRow time_mc_batch_row(int sections, unsigned threads, int runs) {
+  McBatchRow r;
+  r.size = sections;
+  r.runs = runs;
+  r.threads = threads;
+  r.batch = 8;
+  const auto w = si::analysis::modulator_mismatch_workload(sections);
+  {
+    si::spice::Circuit c;
+    (void)w.build(c);
+    r.unknowns = c.system_size();
+  }
+  auto rebuild = [&] {
+    auto st = si::analysis::monte_carlo(
+        runs,
+        [&w](std::uint64_t seed) {
+          si::spice::Circuit c;
+          auto fns = w.build(c);
+          fns.apply(seed);
+          si::spice::DcOptions dopt;
+          dopt.newton = w.newton;
+          dopt.erc_gate = false;
+          const auto dc = si::spice::dc_operating_point(c, dopt);
+          return fns.measure(si::spice::SolutionView(c, dc.x));
+        },
+        si::analysis::McOptions{});
+    benchmark::DoNotOptimize(st.samples.data());
+  };
+  auto drive = [&](std::size_t batch) {
+    si::analysis::McBatchOptions o;
+    o.batch = batch;
+    auto st = si::analysis::monte_carlo_dc(runs, w, o);
+    benchmark::DoNotOptimize(st.samples.data());
+  };
+  auto scalar = [&] { drive(1); };
+  auto batched = [&] { drive(r.batch); };
+
+  si::runtime::set_thread_count(threads);
+  rebuild();  // warm-up: thread pool, allocator, result layouts
+  scalar();
+  batched();
+  // The three paths are timed INTERLEAVED, best-of-3 each: a host-wide
+  // slowdown (shared machine, CPU quota) then hits all three about
+  // equally and the gated ratios stay meaningful.
+  double tr = 1e300, ts = 1e300, tb = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    tr = std::min(tr, time_once(rebuild));
+    ts = std::min(ts, time_once(scalar));
+    tb = std::min(tb, time_once(batched));
+  }
+  r.rebuild_tps = static_cast<double>(runs) / tr;
+  r.scalar_tps = static_cast<double>(runs) / ts;
+  r.batched_tps = static_cast<double>(runs) / tb;
+  si::runtime::set_thread_count(0);
+  return r;
+}
+
 double time_ms(int kind, const std::function<std::size_t()>& run,
                std::size_t* unknowns) {
   SolverEnv env(kind);
@@ -526,6 +615,16 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
     verify_rows.push_back(r);
   }
 
+  // Batched Monte-Carlo rows: thread sweep (1/2/4/8) on a small and on
+  // the largest Table 2 modulator.  The headline gate below checks the
+  // last row (size 8, 8 threads): batched must deliver >= 4x the
+  // per-trial rebuild path and must not lose to the structure-shared
+  // scalar driver.
+  std::vector<McBatchRow> mc_rows;
+  for (int sections : {2, 8})
+    for (unsigned threads : {1u, 2u, 4u, 8u})
+      mc_rows.push_back(time_mc_batch_row(sections, threads, /*runs=*/64));
+
   std::ofstream os(out_path);
   os << "{\n  \"solver_bench\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -558,6 +657,19 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
        << ", \"segments\": " << r.segments << ", \"findings\": " << r.findings
        << ", \"analyze_ms\": " << r.analyze_ms << "}"
        << (i + 1 < verify_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"mc_batch\": [\n";
+  for (std::size_t i = 0; i < mc_rows.size(); ++i) {
+    const auto& r = mc_rows[i];
+    os << "    {\"workload\": \"mc_modulator_offset\", \"size\": " << r.size
+       << ", \"unknowns\": " << r.unknowns << ", \"runs\": " << r.runs
+       << ", \"threads\": " << r.threads << ", \"batch\": " << r.batch
+       << ", \"rebuild_tps\": " << r.rebuild_tps
+       << ", \"scalar_tps\": " << r.scalar_tps
+       << ", \"batched_tps\": " << r.batched_tps
+       << ", \"speedup_vs_rebuild\": " << r.batched_tps / r.rebuild_tps
+       << ", \"speedup_vs_scalar\": " << r.batched_tps / r.scalar_tps << "}"
+       << (i + 1 < mc_rows.size() ? "," : "") << "\n";
   }
   os << "  ]";
   if (telemetry) {
@@ -632,6 +744,44 @@ int run_quick(const std::string& out_path, bool telemetry, bool long_horizon) {
                  "verify_modulator size=%d\n",
                  verify_rows.back().analyze_ms, verify_rows.back().size);
     rc = 1;
+  }
+  for (const auto& r : mc_rows) {
+    std::printf(
+        "%-22s size=%d unknowns=%zu threads=%u batch=%zu rebuild=%.0f/s "
+        "scalar=%.0f/s batched=%.0f/s speedup=%.2fx\n",
+        "mc_modulator_offset", r.size, r.unknowns, r.threads, r.batch,
+        r.rebuild_tps, r.scalar_tps, r.batched_tps,
+        r.batched_tps / r.rebuild_tps);
+  }
+  // Gate 1 (the acceptance headline, largest modulator at 8 threads):
+  // the batched path must deliver >= 4x the trials/sec of the per-trial
+  // rebuild path.  Gate 2 (kernel no-regression, largest modulator at
+  // 1 thread where timing is free of scheduler noise): the batched SoA
+  // path must stay within 20% of the structure-shared scalar driver it
+  // shares every bit of arithmetic with — they differ only in kernel
+  // layout, so falling well below it means the batched kernels
+  // regressed.
+  if (!mc_rows.empty()) {
+    const auto& mg = mc_rows.back();
+    if (mg.batched_tps < 4.0 * mg.rebuild_tps) {
+      std::fprintf(stderr,
+                   "FAIL: batched Monte-Carlo %.0f trials/s < 4x the "
+                   "per-trial path (%.0f trials/s) on mc_modulator_offset "
+                   "size=%d threads=%u\n",
+                   mg.batched_tps, mg.rebuild_tps, mg.size, mg.threads);
+      rc = 1;
+    }
+  }
+  for (const auto& r : mc_rows) {
+    if (r.size != mc_rows.back().size || r.threads != 1) continue;
+    if (r.batched_tps < 0.8 * r.scalar_tps) {
+      std::fprintf(stderr,
+                   "FAIL: batched Monte-Carlo %.0f trials/s below the "
+                   "scalar driver (%.0f trials/s) on mc_modulator_offset "
+                   "size=%d threads=%u\n",
+                   r.batched_tps, r.scalar_tps, r.size, r.threads);
+      rc = 1;
+    }
   }
   if (sweep_event_ms > sweep_mono_ms) {
     std::fprintf(stderr,

@@ -1,0 +1,76 @@
+// Batched Monte-Carlo DC driver: N parameter draws of one circuit
+// topology solved together through spice::BatchedDcEngine (shared
+// symbolic factorization, SoA value lanes, SIMD-friendly inner loops),
+// with each pool thread owning whole batches.
+//
+// Contract: samples are bit-identical to the serial scalar reference at
+// ANY batch size and thread count.  Seeding stays the pure function
+// runtime::trial_seed(seed0, k); the batched kernels mirror the scalar
+// arithmetic lane-for-lane; lanes whose pivots drift (or that fail to
+// converge inside the batch) are ejected and re-run on the scalar
+// re-pivot path, whose result is again a pure function of the trial.
+// Because of that, batched and scalar runs share ONE series-cache entry
+// (the memo key folds cache_key, seed0, and runs — deliberately not the
+// batch size or thread count).
+#pragma once
+
+#include "analysis/monte_carlo.hpp"
+#include "spice/dc.hpp"
+
+namespace si::analysis {
+
+/// The two per-trial closures a DC Monte-Carlo workload provides.
+/// `apply(seed)` re-applies that trial's parameter draw to the circuit
+/// (values only — no topology edits) and must be a pure function of the
+/// seed: the engine invokes it before every stamping pass of the lane.
+/// `measure` maps the converged solution to the sample metric; apply()
+/// is guaranteed to have run for the same seed immediately before.
+struct McDcTrialFns {
+  std::function<void(std::uint64_t)> apply;
+  std::function<double(const spice::SolutionView&)> measure;
+};
+
+/// A batched DC workload: `build` populates an empty per-thread Circuit
+/// and returns the trial closures bound to it.  Each pool thread builds
+/// its own circuit + engine, so `build` must be deterministic.
+struct McDcWorkload {
+  std::function<McDcTrialFns(spice::Circuit&)> build;
+  spice::NewtonOptions newton;
+  /// Forwarded to BatchedDcEngine::Options::batch_drift_tol.
+  double batch_drift_tol = 0.0;
+};
+
+/// McOptions plus the batch width.  batch = 0 resolves through the
+/// SI_MC_BATCH environment variable, defaulting to 8; batch = 1 is the
+/// scalar fallback (per-trial solve_scalar, no SoA kernels).
+struct McBatchOptions : McOptions {
+  std::size_t batch = 0;
+};
+
+/// Resolves a requested batch width: nonzero passes through, zero reads
+/// SI_MC_BATCH (clamped to [1, 64]), else 8.
+std::size_t mc_batch_lanes(std::size_t requested);
+
+/// Runs `runs` DC trials of the workload and aggregates the metric.
+/// Bit-identical across batch sizes and thread counts (see file
+/// comment); trials the batched path ejects are re-solved scalar, and
+/// trials the shared-symbolic scalar path cannot converge fall back to
+/// the full gmin-stepping dc_operating_point ladder.
+McStatistics monte_carlo_dc(int runs, const McDcWorkload& workload,
+                            const McBatchOptions& opts = {});
+
+/// Canonical workload: an N-section SI modulator core under per-device
+/// kp / vt0 mismatch (relative sigma on kp, absolute sigma * vt0 on
+/// vt0), measuring the differential DC output offset v(out_p) -
+/// v(out_m).  The per-trial draw perturbs every MOSFET from its nominal
+/// parameters with an RngStream seeded by the trial seed.
+McDcWorkload modulator_mismatch_workload(int sections, double sigma = 0.02);
+
+/// Same mismatch draw over the Table 1 delay-line chain, measuring the
+/// chain output node's bias voltage.  Unlike the modulator core (whose
+/// DC solution flips polarity under large draws), the chain's bias
+/// point shifts smoothly with mismatch, so spread-vs-budget yield
+/// questions are well posed on this workload.
+McDcWorkload delay_line_mismatch_workload(int stages, double sigma = 0.02);
+
+}  // namespace si::analysis

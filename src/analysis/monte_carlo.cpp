@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/result_cache.hpp"
 #include "runtime/rng_stream.hpp"
@@ -31,13 +32,20 @@ double McStatistics::yield_above(double threshold) const {
          static_cast<double>(samples.size());
 }
 
-namespace {
+obs::Histogram& McStatistics::histogram(std::string_view name) const {
+  if (samples.empty())
+    throw std::logic_error("McStatistics: no samples");
+  obs::Histogram& h = obs::histogram(name);
+  h.reset();
+  for (double v : samples) h.record(v);
+  return h;
+}
 
-// Sorts in place and fills the summary fields.
-McStatistics finalize(std::vector<double> samples) {
+namespace detail {
+
+McStatistics aggregate_sorted(std::vector<double> sorted_samples) {
   McStatistics st;
-  st.samples = std::move(samples);
-  std::sort(st.samples.begin(), st.samples.end());
+  st.samples = std::move(sorted_samples);
   st.min = st.samples.front();
   st.max = st.samples.back();
   double s1 = 0.0, s2 = 0.0;
@@ -53,6 +61,10 @@ McStatistics finalize(std::vector<double> samples) {
   return st;
 }
 
+}  // namespace detail
+
+namespace {
+
 std::vector<double> run_trials(
     int runs, const std::function<double(std::uint64_t)>& trial,
     const McOptions& opts) {
@@ -66,6 +78,9 @@ std::vector<double> run_trials(
   } else {
     body(0, samples.size());
   }
+  // Sort once here, at aggregation: the series cache then stores the
+  // sorted vector and cache hits skip the sort.
+  std::sort(samples.begin(), samples.end());
   return samples;
 }
 
@@ -85,14 +100,15 @@ McStatistics monte_carlo(int runs,
   if (runs < 1) throw std::invalid_argument("monte_carlo: runs >= 1");
   if (opts.cache_key != 0) {
     const std::uint64_t key = runtime::Fnv1a()
+                                  .str("analysis.mc")
                                   .u64(opts.cache_key)
                                   .u64(opts.seed0)
                                   .u64(static_cast<std::uint64_t>(runs))
                                   .digest();
-    return finalize(runtime::series_cache().get_or_compute(
+    return detail::aggregate_sorted(runtime::series_cache().get_or_compute(
         key, [&] { return run_trials(runs, trial, opts); }));
   }
-  return finalize(run_trials(runs, trial, opts));
+  return detail::aggregate_sorted(run_trials(runs, trial, opts));
 }
 
 }  // namespace si::analysis

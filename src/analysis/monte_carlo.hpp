@@ -10,7 +10,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
+
+namespace si::obs {
+class Histogram;
+}
 
 namespace si::analysis {
 
@@ -34,8 +39,23 @@ struct McStatistics {
   /// Throws std::logic_error when no samples were collected.
   double yield_above(double threshold) const;
 
+  /// Loads the samples into the named si_obs 128-bin registry histogram
+  /// (reset first, then one record() per sample) and returns it.  With
+  /// telemetry compiled out (SI_OBS_ENABLED=0) the stub histogram is
+  /// returned unchanged — callers must treat its contents as optional,
+  /// like every other obs read.  Throws std::logic_error when empty.
+  obs::Histogram& histogram(std::string_view name = "mc.samples") const;
+
   std::size_t count() const { return samples.size(); }
 };
+
+namespace detail {
+/// Aggregates an already-sorted (ascending) sample vector into the
+/// summary statistics.  Sorting happens exactly once, at aggregation
+/// time in the trial runners — which is also why the series cache
+/// stores sorted vectors and cache hits skip the sort entirely.
+McStatistics aggregate_sorted(std::vector<double> sorted_samples);
+}  // namespace detail
 
 /// Execution options for monte_carlo().
 struct McOptions {
@@ -45,9 +65,11 @@ struct McOptions {
 
   /// Nonzero enables memoization of the whole run in the shared
   /// si::runtime series cache: the sorted sample vector is stored under
-  /// FNV-1a(cache_key, seed0, runs), so a repeated invocation with the
-  /// same workload key skips every trial.  The caller owns key hygiene:
-  /// the key must identify the trial functor and all its parameters.
+  /// FNV-1a(domain tag, cache_key, seed0, runs) — the full seeding
+  /// configuration is part of the key, never the thread count or (for
+  /// the batched driver) the batch width, because those cannot change
+  /// the samples.  The caller owns the rest of the key hygiene: the key
+  /// must identify the trial functor and all its parameters.
   std::uint64_t cache_key = 0;
 };
 

@@ -1,0 +1,169 @@
+#include "linalg/batch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+
+namespace si::linalg {
+
+void BatchedSparseLu::adopt_symbolic(const SparseLu<double>& ref,
+                                     std::size_t lanes) {
+  if (!ref.fill_)
+    throw std::logic_error(
+        "BatchedSparseLu::adopt_symbolic: reference LU has no symbolic "
+        "factorization (call factor() first)");
+  if (lanes == 0)
+    throw std::invalid_argument("BatchedSparseLu: lanes must be >= 1");
+  lanes_ = lanes;
+  n_ = ref.n_;
+  drift_tol_ = ref.opt_.drift_tol;
+  rp_ = ref.rp_;
+  cp_ = ref.cp_;
+  fill_ = ref.fill_;
+  urow_start_ = ref.urow_start_;
+  as_row_ptr_ = ref.as_row_ptr_;
+  as_col_ = ref.as_col_;
+  as_slot_ = ref.as_slot_;
+  const auto un = static_cast<std::size_t>(n_);
+  fvals_.assign(fill_->nnz() * lanes_, 0.0);
+  diag_inv_.assign(un * lanes_, 0.0);
+  work_.assign(un * lanes_, 0.0);
+  ywork_.assign(un * lanes_, 0.0);
+  rmax_.assign(lanes_, 0.0);
+  tol_.assign(lanes_, 0.0);
+  lij_.assign(lanes_, 0.0);
+}
+
+// Operation-for-operation mirror of SparseLu::refactor_values with the
+// lane index as the inner loop.  The only structural difference is the
+// zero-L(i,j) skip: the scalar kernel skips per value, here the update
+// loop is skipped only when every lane's multiplier is zero (structural
+// zeros are shared by all lanes, so the common case still short-cuts).
+// Computing `w -= 0 * f` in the remaining mixed rows can at most flip
+// the sign of a zero, which no downstream magnitude, comparison, or
+// division observes — the drift test ejects any lane before its pivot
+// reciprocal could tell +-0 apart.
+std::size_t BatchedSparseLu::refactor(const BatchedSparseMatrixD& a,
+                                      std::vector<unsigned char>& live) {
+  if (!adopted())
+    throw std::logic_error("BatchedSparseLu::refactor before adopt_symbolic");
+  if (a.lanes() != lanes_ || a.dim() != n_ || live.size() != lanes_)
+    throw std::invalid_argument("BatchedSparseLu::refactor: shape mismatch");
+  const auto un = static_cast<std::size_t>(n_);
+  const std::size_t L = lanes_;
+  const double drift = drift_override_ > 0.0 ? drift_override_ : drift_tol_;
+  const auto& frp = fill_->row_ptr();
+  const auto& fci = fill_->col_idx();
+  const auto& av = a.values();
+  std::size_t ejected = 0;
+  for (std::size_t i = 0; i < un; ++i) {
+    // Scatter row i of the permuted A over the frozen factor pattern.
+    for (std::size_t s = frp[i]; s < frp[i + 1]; ++s) {
+      double* w = &work_[static_cast<std::size_t>(fci[s]) * L];
+      for (std::size_t k = 0; k < L; ++k) w[k] = 0.0;
+    }
+    for (std::size_t k = 0; k < L; ++k) rmax_[k] = 0.0;
+    for (std::size_t s = as_row_ptr_[i]; s < as_row_ptr_[i + 1]; ++s) {
+      const double* src = &av[as_slot_[s] * L];
+      double* w = &work_[static_cast<std::size_t>(as_col_[s]) * L];
+      for (std::size_t k = 0; k < L; ++k) {
+        const double v = src[k];
+        w[k] += v;
+        rmax_[k] = std::max(rmax_[k], std::abs(v));
+      }
+    }
+    // Row-relative drift threshold, per lane (same rule and rationale as
+    // the scalar refactor).
+    for (std::size_t k = 0; k < L; ++k)
+      tol_[k] = drift * (rmax_[k] > 0 ? rmax_[k] : 1.0);
+    // Up-looking elimination against the already-factored rows.
+    for (std::size_t s = frp[i]; s < urow_start_[i]; ++s) {
+      const auto j = static_cast<std::size_t>(fci[s]);
+      double* wj = &work_[j * L];
+      const double* dj = &diag_inv_[j * L];
+      bool any = false;
+      for (std::size_t k = 0; k < L; ++k) {
+        const double v = wj[k] * dj[k];
+        lij_[k] = v;
+        wj[k] = v;
+        any = any || v != 0.0;
+      }
+      if (!any) continue;
+      for (std::size_t t = urow_start_[j] + 1; t < frp[j + 1]; ++t) {
+        double* wt = &work_[static_cast<std::size_t>(fci[t]) * L];
+        const double* fv = &fvals_[t * L];
+        for (std::size_t k = 0; k < L; ++k) wt[k] -= lij_[k] * fv[k];
+      }
+    }
+    const double* wi = &work_[i * L];
+    double* di = &diag_inv_[i * L];
+    for (std::size_t k = 0; k < L; ++k) {
+      if (!live[k]) {
+        di[k] = 0.0;  // keep dead-lane arithmetic finite
+        continue;
+      }
+      const double d = wi[k];
+      if (std::abs(d) < tol_[k]) {
+        // Eject only this lane; the caller re-runs it through the scalar
+        // re-pivot path.  Shares the scalar path's drift counter so
+        // telemetry sees every drift event regardless of path.
+        static obs::Counter& drift_ctr = obs::counter("linalg.pivot_drift");
+        drift_ctr.add();
+        live[k] = 0;
+        di[k] = 0.0;
+        ++ejected;
+        continue;
+      }
+      di[k] = 1.0 / d;
+    }
+    for (std::size_t s = frp[i]; s < frp[i + 1]; ++s) {
+      double* fv = &fvals_[s * L];
+      const double* w = &work_[static_cast<std::size_t>(fci[s]) * L];
+      for (std::size_t k = 0; k < L; ++k) fv[k] = w[k];
+    }
+  }
+  return ejected;
+}
+
+void BatchedSparseLu::solve(const std::vector<double>& b,
+                            std::vector<double>& x) const {
+  if (!adopted())
+    throw std::logic_error("BatchedSparseLu::solve before adopt_symbolic");
+  const auto un = static_cast<std::size_t>(n_);
+  const std::size_t L = lanes_;
+  if (b.size() != un * L || x.size() != un * L)
+    throw std::invalid_argument("BatchedSparseLu::solve: size mismatch");
+  const auto& frp = fill_->row_ptr();
+  const auto& fci = fill_->col_idx();
+  // Forward-substitute L y = (row-permuted) b, every lane at once.
+  for (std::size_t i = 0; i < un; ++i) {
+    double* yi = &ywork_[i * L];
+    const double* bi = &b[static_cast<std::size_t>(rp_[i]) * L];
+    for (std::size_t k = 0; k < L; ++k) yi[k] = bi[k];
+    for (std::size_t s = frp[i]; s < urow_start_[i]; ++s) {
+      const double* fv = &fvals_[s * L];
+      const double* yj = &ywork_[static_cast<std::size_t>(fci[s]) * L];
+      for (std::size_t k = 0; k < L; ++k) yi[k] -= fv[k] * yj[k];
+    }
+  }
+  // Back-substitute U z = y.
+  for (std::size_t ii = un; ii-- > 0;) {
+    double* yi = &ywork_[ii * L];
+    for (std::size_t s = urow_start_[ii] + 1; s < frp[ii + 1]; ++s) {
+      const double* fv = &fvals_[s * L];
+      const double* yj = &ywork_[static_cast<std::size_t>(fci[s]) * L];
+      for (std::size_t k = 0; k < L; ++k) yi[k] -= fv[k] * yj[k];
+    }
+    const double* di = &diag_inv_[ii * L];
+    for (std::size_t k = 0; k < L; ++k) yi[k] *= di[k];
+  }
+  // Un-permute columns: x[cp_[j]] = z[j].
+  for (std::size_t j = 0; j < un; ++j) {
+    double* xj = &x[static_cast<std::size_t>(cp_[j]) * L];
+    const double* yj = &ywork_[j * L];
+    for (std::size_t k = 0; k < L; ++k) xj[k] = yj[k];
+  }
+}
+
+}  // namespace si::linalg

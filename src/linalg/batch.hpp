@@ -1,0 +1,149 @@
+// Batched structure-shared sparse numerics for Monte-Carlo: N parameter
+// draws of one topology share a single symbolic factorization while the
+// numeric values live in structure-of-arrays lanes, so the refactor and
+// substitution inner loops run contiguously across the batch dimension
+// and vectorize.
+//
+// Layout contract (see DESIGN.md "Batched Monte-Carlo"): every numeric
+// array is slot-major SoA — values[slot * lanes + lane] — so the lane
+// index is the fastest-moving one and each scalar operation of the
+// reference SparseLu becomes one contiguous lane loop.  Per-lane
+// arithmetic is mirrored operation-for-operation from the scalar
+// refactor/solve; lanes never interact, which is what makes batched
+// results bit-identical to the serial reference at any batch size.
+//
+// Pivot drift is detected per lane with the same row-relative rule as
+// SparseLu::refactor_values.  A drifting lane is not rescued here: it is
+// marked dead in the caller's live mask (its factors become garbage and
+// its diagonal inverse is zeroed so the remaining arithmetic stays
+// finite) and the caller re-runs that trial through the scalar re-pivot
+// path.  All other lanes are unaffected.
+#pragma once
+
+#include "linalg/sparse.hpp"
+
+namespace si::linalg {
+
+/// Structure-of-arrays values over a shared immutable SparsePattern:
+/// one value lane per Monte-Carlo trial, slot-major so stamping a lane
+/// is a strided write but the factorization streams contiguously.
+class BatchedSparseMatrixD {
+ public:
+  BatchedSparseMatrixD() = default;
+  BatchedSparseMatrixD(std::shared_ptr<const SparsePattern> pattern,
+                       std::size_t lanes)
+      : pattern_(std::move(pattern)),
+        lanes_(lanes),
+        values_(pattern_->nnz() * lanes, 0.0) {}
+
+  const SparsePattern& pattern() const { return *pattern_; }
+  const std::shared_ptr<const SparsePattern>& pattern_ptr() const {
+    return pattern_;
+  }
+  int dim() const { return pattern_ ? pattern_->dim() : 0; }
+  std::size_t lanes() const { return lanes_; }
+
+  void set_zero() { values_.assign(values_.size(), 0.0); }
+
+  void set_lane_zero(std::size_t lane) {
+    for (std::size_t s = lane; s < values_.size(); s += lanes_)
+      values_[s] = 0.0;
+  }
+
+  /// Copies all lanes from a matrix over the same pattern/lane count
+  /// (no allocation).
+  void copy_values_from(const BatchedSparseMatrixD& o) {
+    values_ = o.values_;
+  }
+
+  /// Adds `v` at (r, c) in `lane`; throws PatternMissError outside the
+  /// pattern.  Same SlotMemo semantics as SparseMatrix::add, so one
+  /// shared memo serves every lane's stamping pass.
+  void add(int r, int c, std::size_t lane, double v,
+           SlotMemo* memo = nullptr) {
+    const int slot =
+        memo ? memo->lookup(*pattern_, r, c) : pattern_->find(r, c);
+    if (slot < 0) throw PatternMissError(r, c);
+    values_[static_cast<std::size_t>(slot) * lanes_ + lane] += v;
+  }
+
+  double get(int r, int c, std::size_t lane) const {
+    const int slot = pattern_->find(r, c);
+    return slot < 0
+               ? 0.0
+               : values_[static_cast<std::size_t>(slot) * lanes_ + lane];
+  }
+
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::shared_ptr<const SparsePattern> pattern_;
+  std::size_t lanes_ = 0;
+  std::vector<double> values_;  // slot-major SoA
+};
+
+/// Batched numeric LU over a symbolic factorization adopted from a
+/// factored scalar SparseLu<double> (the nominal-circuit reference).
+/// refactor() and solve() mirror the scalar kernels lane-for-lane; see
+/// the file comment for the bit-identity and lane-ejection contracts.
+class BatchedSparseLu {
+ public:
+  BatchedSparseLu() = default;
+
+  /// Copies the frozen symbolic structure (permutations, L+U fill
+  /// pattern, scatter map, drift options) of `ref`, which must have been
+  /// factor()ed, and sizes the SoA numeric arrays for `lanes` lanes.
+  /// Throws std::logic_error if `ref` holds no symbolic factorization.
+  void adopt_symbolic(const SparseLu<double>& ref, std::size_t lanes);
+
+  bool adopted() const { return fill_ != nullptr; }
+  std::size_t lanes() const { return lanes_; }
+  int dim() const { return n_; }
+
+  /// Overrides the refactor pivot-drift threshold (relative to each
+  /// row's scale, like SparseLu::Options::drift_tol).  Raising it ejects
+  /// lanes to the scalar path earlier; 0 restores the adopted value.
+  void set_drift_tol(double tol) { drift_override_ = tol; }
+
+  /// Numeric refactorization of every lane over the adopted symbolic
+  /// structure.  `live` (size lanes()) is the in/out lane mask: lanes
+  /// entering dead are skipped by the drift test and their diagonal
+  /// inverse zeroed; lanes whose pivot drifts below the row-relative
+  /// threshold are marked dead.  Returns the number of lanes ejected by
+  /// this call.  No allocation once adopted.
+  std::size_t refactor(const BatchedSparseMatrixD& a,
+                       std::vector<unsigned char>& live);
+
+  /// Per-lane forward/back substitution: x = A_lane^{-1} b_lane for
+  /// every lane.  `b` and `x` are row-major SoA over original indices
+  /// (v[row * lanes + lane]); `x` must be presized to dim() * lanes().
+  /// Dead-lane columns hold garbage.  No allocation.
+  void solve(const std::vector<double>& b, std::vector<double>& x) const;
+
+  std::size_t factor_nnz() const { return fvals_.size(); }
+
+ private:
+  std::size_t lanes_ = 0;
+  int n_ = 0;
+  double drift_tol_ = 0.0;
+  double drift_override_ = 0.0;
+  std::vector<int> rp_;  // factored row i <- original row rp_[i]
+  std::vector<int> cp_;  // factored col j <- original col cp_[j]
+  std::shared_ptr<const SparsePattern> fill_;
+  std::vector<std::size_t> urow_start_;
+  std::vector<std::size_t> as_row_ptr_;
+  std::vector<int> as_col_;
+  std::vector<std::size_t> as_slot_;
+  // SoA numeric state: all slot-major / row-major over `lanes_` lanes.
+  std::vector<double> fvals_;     // factor values over `fill_`
+  std::vector<double> diag_inv_;  // 1 / U(i,i); 0 for dead lanes
+  std::vector<double> work_;
+  mutable std::vector<double> ywork_;
+  // Per-lane scratch for the row being eliminated.
+  std::vector<double> rmax_;
+  std::vector<double> tol_;
+  std::vector<double> lij_;
+};
+
+}  // namespace si::linalg

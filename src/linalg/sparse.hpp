@@ -147,6 +147,29 @@ struct SlotMemo {
     cursor = 0;
     recording = false;
   }
+
+  /// Slot of (r, c) in `p` through the memo: replayed writes are direct
+  /// indexed lookups; a shifted sequence is patched in place.  Shared by
+  /// the scalar SparseMatrix and the batched SoA matrix so both stamp
+  /// through one memo.
+  int lookup(const SparsePattern& p, int r, int c) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+        static_cast<std::uint32_t>(c);
+    if (!recording && cursor < slots.size()) {
+      if (coords[cursor] == key) return slots[cursor++];
+      // Sequence shifted (e.g. MOSFET orientation swap): patch in place.
+      const int slot = p.find(r, c);
+      coords[cursor] = key;
+      slots[cursor++] = slot;
+      return slot;
+    }
+    const int slot = p.find(r, c);
+    coords.push_back(key);
+    slots.push_back(slot);
+    ++cursor;
+    return slot;
+  }
 };
 
 /// Values over a shared immutable SparsePattern.
@@ -171,7 +194,8 @@ class SparseMatrix {
   /// Adds `v` at (r, c); throws PatternMissError outside the pattern.
   /// With a memo, replayed writes become direct indexed adds.
   void add(int r, int c, T v, SlotMemo* memo = nullptr) {
-    const int slot = memo ? memo_slot(r, c, *memo) : pattern_->find(r, c);
+    const int slot =
+        memo ? memo->lookup(*pattern_, r, c) : pattern_->find(r, c);
     if (slot < 0) throw PatternMissError(r, c);
     values_[static_cast<std::size_t>(slot)] += v;
   }
@@ -211,25 +235,6 @@ class SparseMatrix {
   }
 
  private:
-  int memo_slot(int r, int c, SlotMemo& memo) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
-        static_cast<std::uint32_t>(c);
-    if (!memo.recording && memo.cursor < memo.slots.size()) {
-      if (memo.coords[memo.cursor] == key) return memo.slots[memo.cursor++];
-      // Sequence shifted (e.g. MOSFET orientation swap): patch in place.
-      const int slot = pattern_->find(r, c);
-      memo.coords[memo.cursor] = key;
-      memo.slots[memo.cursor++] = slot;
-      return slot;
-    }
-    const int slot = pattern_->find(r, c);
-    memo.coords.push_back(key);
-    memo.slots.push_back(slot);
-    ++memo.cursor;
-    return slot;
-  }
-
   std::shared_ptr<const SparsePattern> pattern_;
   std::vector<T> values_;
 };
@@ -281,6 +286,8 @@ class SparseLu {
   std::size_t symbolic_builds() const { return symbolic_builds_; }
 
  private:
+  friend class BatchedSparseLu;  // adopts the frozen symbolic structure
+
   void build_symbolic(const SparseMatrix<T>& a);
   void refactor_values(const SparseMatrix<T>& a);
 

@@ -1,6 +1,7 @@
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -89,7 +90,17 @@ void parallel_for(std::size_t n,
   }
   // Every chunk must finish before unwinding (bodies reference caller
   // state), so wait for all first, then surface the first exception.
-  for (auto& f : futures) f.wait();
+  // While waiting, the caller helps drain the pool: it is otherwise
+  // idle, and parking it on a future costs a scheduler round-trip per
+  // chunk when the workers outnumber the cores.
+  for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool->try_run_one()) {
+        f.wait();  // nothing left to help with; block until this chunk lands
+        break;
+      }
+    }
+  }
   for (auto& f : futures) f.get();
 }
 

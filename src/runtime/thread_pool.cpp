@@ -53,6 +53,18 @@ void ThreadPool::push(Task t) {
   cv_.notify_one();
 }
 
+bool ThreadPool::try_run_one() {
+  Task task;
+  // Rotate the scan start so concurrent helpers spread over the queues.
+  const unsigned start =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % size();
+  if (!try_pop_or_steal(start, task)) return false;
+  static obs::Counter& helped = obs::counter("runtime.pool_helped");
+  helped.add();
+  task();
+  return true;
+}
+
 bool ThreadPool::try_pop_or_steal(unsigned self, Task& out) {
   {  // Own queue, newest first.
     auto& q = *queues_[self];

@@ -65,6 +65,13 @@ class ThreadPool {
   /// deadlocking on its own pool.
   bool on_worker_thread() const;
 
+  /// Pops (or steals) one queued task and runs it on the CALLING
+  /// thread; returns false when every queue is empty.  Lets a thread
+  /// blocked on this pool's results help drain the backlog instead of
+  /// parking — on machines with fewer cores than workers, waiting on a
+  /// future costs a full scheduler round-trip per task.
+  bool try_run_one();
+
   /// Queues `f` for execution; the future carries its result or
   /// exception.
   template <typename F>

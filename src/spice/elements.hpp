@@ -22,6 +22,10 @@ class CompanionCap {
 
   double capacitance() const { return c_; }
 
+  /// Value-only update (Monte-Carlo parameter draws); the stored state
+  /// of the companion integrator is preserved.
+  void set_capacitance(double c) { c_ = c; }
+
   /// Stamps the integration companion (open circuit at DC).
   void stamp(RealStamper& s, const StampContext& ctx, NodeId p, NodeId m) const;
 

@@ -28,6 +28,14 @@ Mosfet::Mosfet(std::string name, MosType type, NodeId drain, NodeId gate,
   has_bulk_ = true;
 }
 
+void Mosfet::set_params(const MosfetParams& params) {
+  if (params.w <= 0 || params.l <= 0 || params.kp <= 0)
+    throw std::invalid_argument("Mosfet: w, l, kp must be > 0");
+  params_ = params;
+  cgs_cap_.set_capacitance(params.cgs);
+  cgd_cap_.set_capacitance(params.cgd);
+}
+
 double Mosfet::threshold(double vsb_primed) const {
   if (!has_bulk_ || params_.gamma == 0.0) return params_.vt0;
   // Clamp the junction to weak forward bias; deeper forward bias would

@@ -61,6 +61,12 @@ class Mosfet final : public Element {
   MosType type() const { return type_; }
   const MosfetParams& params() const { return params_; }
 
+  /// Replaces the model parameters in place (Monte-Carlo mismatch
+  /// draws): values only — the device's nodes, and therefore the MNA
+  /// sparsity pattern, are untouched, so no Circuit revision bump is
+  /// needed.  Same validation as construction.
+  void set_params(const MosfetParams& params);
+
   // Terminal nodes (for topology inspection).
   NodeId drain() const { return d_; }
   NodeId gate() const { return g_; }

@@ -15,9 +15,12 @@
 #include <new>
 
 #include "obs/telemetry.hpp"
+#include "runtime/rng_stream.hpp"
 #include "si/netlists.hpp"
 #include "spice/dc.hpp"
 #include "spice/mna.hpp"
+#include "spice/mna_batch.hpp"
+#include "spice/mosfet.hpp"
 #include "spice/transient.hpp"
 
 namespace {
@@ -138,6 +141,51 @@ TEST(TransientAlloc, TransientRunStepsAllocateOnlyDuringWarmup) {
   // Everything after the first few steps must be allocation-flat.
   EXPECT_EQ(per_step.back(), per_step[5])
       << "transient step loop allocated after warm-up";
+}
+
+TEST(TransientAlloc, BatchedRefactorSolveIsAllocationFreeAfterWarmup) {
+  // The batched Monte-Carlo hot loop: per-lane stamping, SoA
+  // refactor, and the batched substitution must stop allocating once
+  // the engine workspaces and slot memos are warm.
+  si::obs::set_enabled(true);
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  DelayStageOptions opt;
+  const auto h = build_delay_line_chain(c, 2, opt, "dl_");
+  c.add<CurrentSource>("Iin", c.ground(), h.in, 5e-6);
+
+  // Pre-capture devices + nominals so apply() itself is allocation-free.
+  std::vector<std::pair<Mosfet*, MosfetParams>> devices;
+  for (const auto& e : c.elements())
+    if (auto* m = dynamic_cast<Mosfet*>(e.get()))
+      devices.emplace_back(m, m->params());
+  const std::function<void(std::uint64_t)> apply = [&](std::uint64_t seed) {
+    si::runtime::RngStream rng(seed);
+    for (const auto& [mos, nominal] : devices) {
+      MosfetParams p = nominal;
+      p.kp = nominal.kp * (1.0 + 0.02 * rng.normal());
+      mos->set_params(p);
+    }
+  };
+
+  constexpr std::size_t kLanes = 4;
+  BatchedDcEngine engine(c, kLanes, BatchedDcEngine::Options{});
+  std::uint64_t seeds[kLanes];
+  BatchedLaneResult results[kLanes];
+  auto run_batch = [&](std::uint64_t base) {
+    for (std::size_t k = 0; k < kLanes; ++k) seeds[k] = base + k;
+    engine.solve_batch(seeds, kLanes, apply, results);
+    for (std::size_t k = 0; k < kLanes; ++k)
+      ASSERT_TRUE(results[k].converged) << "lane " << k;
+  };
+
+  run_batch(100);  // warm-up: pattern, symbolic, memos, workspaces
+  run_batch(200);  // second pass: memos replay
+
+  const std::uint64_t before = g_allocs.load();
+  for (int r = 0; r < 10; ++r) run_batch(300 + 10 * r);
+  EXPECT_EQ(g_allocs.load() - before, 0u)
+      << "heap allocations leaked into the warm batched MC loop";
 }
 
 }  // namespace
