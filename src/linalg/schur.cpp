@@ -1,0 +1,633 @@
+#include "linalg/schur.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+#include "runtime/parallel.hpp"
+
+namespace si::linalg {
+
+namespace {
+
+constexpr int kUnassigned = -2;
+constexpr int kBorder = -1;
+
+// Hoisted handles so the numeric hot path (and the parallel block
+// bodies) never touch the registry lock.
+struct SchurTelemetry {
+  obs::Counter& block_factors = obs::counter("schur.block_factors");
+  obs::Counter& block_refactors = obs::counter("schur.block_refactors");
+  obs::Counter& repivots = obs::counter("schur.repivots");
+  obs::Timer& parallel_factor = obs::timer("schur.parallel_factor");
+  obs::Timer& interface_solve = obs::timer("schur.interface_solve");
+
+  static SchurTelemetry& get() {
+    static SchurTelemetry t;
+    return t;
+  }
+};
+
+// Symmetrized, self-loop-free adjacency of the pattern graph, each list
+// sorted ascending (the pattern rows already are; the transpose merge
+// re-sorts).
+std::vector<std::vector<int>> build_adjacency(const SparsePattern& p) {
+  const int n = p.dim();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (std::size_t s = p.row_ptr()[static_cast<std::size_t>(r)];
+         s < p.row_ptr()[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int c = p.col_idx()[s];
+      if (c == r) continue;
+      adj[static_cast<std::size_t>(r)].push_back(c);
+      adj[static_cast<std::size_t>(c)].push_back(r);
+    }
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+// BFS level structure over the interior (membership == kUnassigned)
+// vertices of one component.  `seen` carries an epoch mark so repeated
+// sweeps need no clearing.  Returns vertices in discovery order with
+// level boundaries.
+struct LevelStructure {
+  std::vector<int> verts;
+  std::vector<std::size_t> level_ptr;  // level l = [level_ptr[l], level_ptr[l+1])
+};
+
+LevelStructure bfs_levels(int start, const std::vector<std::vector<int>>& adj,
+                          const std::vector<int>& membership,
+                          std::vector<int>& seen, int epoch) {
+  LevelStructure ls;
+  ls.verts.push_back(start);
+  ls.level_ptr.push_back(0);
+  seen[static_cast<std::size_t>(start)] = epoch;
+  std::size_t head = 0;
+  while (head < ls.verts.size()) {
+    ls.level_ptr.push_back(ls.verts.size());
+    const std::size_t tail = ls.verts.size();
+    for (; head < tail; ++head) {
+      for (const int u : adj[static_cast<std::size_t>(ls.verts[head])]) {
+        if (membership[static_cast<std::size_t>(u)] != kUnassigned) continue;
+        if (seen[static_cast<std::size_t>(u)] == epoch) continue;
+        seen[static_cast<std::size_t>(u)] = epoch;
+        ls.verts.push_back(u);
+      }
+    }
+  }
+  if (ls.level_ptr.back() != ls.verts.size())
+    ls.level_ptr.push_back(ls.verts.size());
+  return ls;
+}
+
+}  // namespace
+
+BbdPartition bbd_partition(const SparsePattern& p, const BbdOptions& opt) {
+  BbdPartition part;
+  const int n = p.dim();
+  part.membership.assign(static_cast<std::size_t>(n), 0);
+  part.degenerate = true;
+  if (n == 0) return part;
+
+  const auto adj = build_adjacency(p);
+  std::vector<int> m(static_cast<std::size_t>(n), kUnassigned);
+
+  // 1. Hub extraction: unknowns coupled to a large fraction of the
+  // circuit (the supply rail and friends) would glue every section into
+  // one component; they belong to the interface.
+  const int hub_thr = std::max(
+      opt.hub_degree_min,
+      static_cast<int>(std::lround(static_cast<double>(n) *
+                                   opt.hub_degree_frac)));
+  for (int v = 0; v < n; ++v)
+    if (static_cast<int>(adj[static_cast<std::size_t>(v)].size()) >= hub_thr)
+      m[static_cast<std::size_t>(v)] = kBorder;
+
+  int interior = 0;
+  for (int v = 0; v < n; ++v)
+    if (m[static_cast<std::size_t>(v)] == kUnassigned) ++interior;
+
+  int k = opt.target_blocks;
+  if (k <= 0)
+    k = std::clamp(interior / std::max(1, opt.min_block), 1, opt.max_blocks);
+
+  // 2. Chain sectioning: BFS level structure from a pseudo-peripheral
+  // start, sliced into contiguous chunks of ~interior/k at level
+  // boundaries (so a chunk never straddles a cut mid-level).
+  std::vector<int> chunk(static_cast<std::size_t>(n), -1);
+  const int target = (interior + k - 1) / std::max(1, k);
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  int epoch = 0;
+  int cur = 0, cur_size = 0, chunks_made = 1;
+  for (int v0 = 0; v0 < n; ++v0) {
+    if (m[static_cast<std::size_t>(v0)] != kUnassigned) continue;
+    if (chunk[static_cast<std::size_t>(v0)] >= 0) continue;
+    // Pseudo-peripheral start: BFS, restart from the lowest-index
+    // vertex of the last level (ends of a chain find each other).
+    LevelStructure probe = bfs_levels(v0, adj, m, seen, ++epoch);
+    const std::size_t last = probe.level_ptr.size() - 2;
+    int start = probe.verts[probe.level_ptr[last]];
+    for (std::size_t i = probe.level_ptr[last]; i < probe.level_ptr[last + 1];
+         ++i)
+      start = std::min(start, probe.verts[i]);
+    LevelStructure ls = bfs_levels(start, adj, m, seen, ++epoch);
+    for (std::size_t l = 0; l + 1 < ls.level_ptr.size(); ++l) {
+      for (std::size_t i = ls.level_ptr[l]; i < ls.level_ptr[l + 1]; ++i) {
+        chunk[static_cast<std::size_t>(ls.verts[i])] = cur;
+        ++cur_size;
+      }
+      if (cur_size >= target && chunks_made < k) {
+        ++cur;
+        ++chunks_made;
+        cur_size = 0;
+      }
+    }
+  }
+
+  // 3. Separator completion: the endpoint in the higher-numbered chunk
+  // of every cross-chunk edge moves to the border.  Afterwards no
+  // interior edge crosses chunks.
+  for (int v = 0; v < n; ++v) {
+    if (m[static_cast<std::size_t>(v)] != kUnassigned) continue;
+    for (const int u : adj[static_cast<std::size_t>(v)]) {
+      if (m[static_cast<std::size_t>(v)] != kUnassigned) break;
+      if (u <= v || m[static_cast<std::size_t>(u)] != kUnassigned) continue;
+      if (chunk[static_cast<std::size_t>(u)] == chunk[static_cast<std::size_t>(v)])
+        continue;
+      const int w =
+          chunk[static_cast<std::size_t>(v)] > chunk[static_cast<std::size_t>(u)]
+              ? v
+              : u;
+      m[static_cast<std::size_t>(w)] = kBorder;
+    }
+  }
+
+  // 4. Dangling promotion: an interior unknown whose off-diagonal
+  // neighbors are all border would leave a structurally singular zero
+  // row/column inside its block (e.g. a supply source's branch current,
+  // which couples only to the rail node) — promote it too, to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < n; ++v) {
+      if (m[static_cast<std::size_t>(v)] != kUnassigned) continue;
+      if (adj[static_cast<std::size_t>(v)].empty()) continue;
+      bool interior_neighbor = false;
+      for (const int u : adj[static_cast<std::size_t>(v)])
+        if (m[static_cast<std::size_t>(u)] == kUnassigned) {
+          interior_neighbor = true;
+          break;
+        }
+      if (!interior_neighbor) {
+        m[static_cast<std::size_t>(v)] = kBorder;
+        changed = true;
+      }
+    }
+  }
+
+  // Gather blocks (ascending within each chunk), dropping chunks the
+  // separator pass emptied, and renumber.
+  std::vector<int> block_of_chunk(static_cast<std::size_t>(cur) + 1, -1);
+  for (int v = 0; v < n; ++v) {
+    if (m[static_cast<std::size_t>(v)] != kUnassigned) continue;
+    const auto ch = static_cast<std::size_t>(chunk[static_cast<std::size_t>(v)]);
+    if (block_of_chunk[ch] < 0) {
+      block_of_chunk[ch] = static_cast<int>(part.blocks.size());
+      part.blocks.emplace_back();
+    }
+    part.blocks[static_cast<std::size_t>(block_of_chunk[ch])].push_back(v);
+  }
+  for (int v = 0; v < n; ++v) {
+    if (m[static_cast<std::size_t>(v)] == kBorder) {
+      part.border.push_back(v);
+      part.membership[static_cast<std::size_t>(v)] = -1;
+    } else {
+      part.membership[static_cast<std::size_t>(v)] =
+          block_of_chunk[static_cast<std::size_t>(
+              chunk[static_cast<std::size_t>(v)])];
+    }
+  }
+
+  part.degenerate =
+      part.blocks.size() < 2 ||
+      static_cast<double>(part.border.size()) >
+          opt.max_border_frac * static_cast<double>(n);
+  return part;
+}
+
+void bbd_promote_to_border(BbdPartition& part,
+                           const std::vector<int>& unknowns,
+                           const BbdOptions& opt) {
+  for (const int u : unknowns) {
+    const int bi = part.membership[static_cast<std::size_t>(u)];
+    if (bi < 0) continue;  // already border
+    auto& blk = part.blocks[static_cast<std::size_t>(bi)];
+    blk.erase(std::lower_bound(blk.begin(), blk.end(), u));
+    part.border.insert(
+        std::lower_bound(part.border.begin(), part.border.end(), u), u);
+    part.membership[static_cast<std::size_t>(u)] = kBorder;
+  }
+  // Drop emptied blocks and renumber the survivors.
+  std::vector<int> newid(part.blocks.size(), -1);
+  int next = 0;
+  for (std::size_t b = 0; b < part.blocks.size(); ++b)
+    if (!part.blocks[b].empty()) newid[b] = next++;
+  if (next != static_cast<int>(part.blocks.size())) {
+    std::vector<std::vector<int>> kept;
+    kept.reserve(static_cast<std::size_t>(next));
+    for (auto& blk : part.blocks)
+      if (!blk.empty()) kept.push_back(std::move(blk));
+    part.blocks = std::move(kept);
+    for (auto& m : part.membership)
+      if (m >= 0) m = newid[static_cast<std::size_t>(m)];
+  }
+  part.degenerate =
+      part.blocks.size() < 2 ||
+      static_cast<double>(part.border.size()) >
+          opt.max_border_frac * static_cast<double>(part.dim());
+}
+
+template <typename T>
+void SchurLu<T>::attach(std::shared_ptr<const SparsePattern> pattern,
+                        const BbdPartition& part, Options opt) {
+  if (part.degenerate)
+    throw std::invalid_argument("SchurLu::attach: degenerate partition");
+  if (static_cast<int>(part.dim()) != pattern->dim())
+    throw std::invalid_argument("SchurLu::attach: partition/pattern mismatch");
+  SchurTelemetry::get();  // pre-register before any parallel region
+
+  opt_ = opt;
+  pattern_ = std::move(pattern);
+  n_ = pattern_->dim();
+  border_ = part.border;
+  blocks_.clear();
+  blocks_.resize(part.block_count());
+  ilu_ = SparseLu<T>(opt_.lu);
+  ilu_warm_ = false;
+  igather_.clear();
+  block_repivots_.store(0, std::memory_order_relaxed);
+
+  // Local index of each interior unknown within its block; border
+  // position of each border unknown.
+  std::vector<int> local(static_cast<std::size_t>(n_), -1);
+  std::vector<int> bpos(static_cast<std::size_t>(n_), -1);
+  for (std::size_t j = 0; j < border_.size(); ++j)
+    bpos[static_cast<std::size_t>(border_[j])] = static_cast<int>(j);
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    blocks_[bi].unknowns = part.blocks[bi];
+    for (std::size_t li = 0; li < blocks_[bi].unknowns.size(); ++li)
+      local[static_cast<std::size_t>(blocks_[bi].unknowns[li])] =
+          static_cast<int>(li);
+  }
+
+  // Pass 1 — classify every global entry: build block patterns, the
+  // per-block touched-border sets, and the interface (C) coordinate
+  // list.
+  std::vector<PatternBuilder> builders;
+  builders.reserve(blocks_.size());
+  for (const Block& blk : blocks_)
+    builders.emplace_back(static_cast<int>(blk.unknowns.size()));
+  struct CCoord {
+    int br, bc;
+    std::size_t gslot;
+  };
+  std::vector<CCoord> ccoords;
+  for (int r = 0; r < n_; ++r) {
+    const int mr = part.membership[static_cast<std::size_t>(r)];
+    for (std::size_t s = pattern_->row_ptr()[static_cast<std::size_t>(r)];
+         s < pattern_->row_ptr()[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int c = pattern_->col_idx()[s];
+      const int mc = part.membership[static_cast<std::size_t>(c)];
+      if (mr >= 0 && mc >= 0) {
+        if (mr != mc)
+          throw std::logic_error("SchurLu::attach: blocks not independent");
+        builders[static_cast<std::size_t>(mr)].add(
+            local[static_cast<std::size_t>(r)],
+            local[static_cast<std::size_t>(c)]);
+      } else if (mr >= 0) {  // E: block row, border col
+        blocks_[static_cast<std::size_t>(mr)].touched.push_back(
+            bpos[static_cast<std::size_t>(c)]);
+      } else if (mc >= 0) {  // F: border row, block col
+        blocks_[static_cast<std::size_t>(mc)].touched.push_back(
+            bpos[static_cast<std::size_t>(r)]);
+      } else {
+        ccoords.push_back({bpos[static_cast<std::size_t>(r)],
+                           bpos[static_cast<std::size_t>(c)], s});
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    Block& blk = blocks_[bi];
+    std::sort(blk.touched.begin(), blk.touched.end());
+    blk.touched.erase(std::unique(blk.touched.begin(), blk.touched.end()),
+                      blk.touched.end());
+    blk.mat = SparseMatrix<T>(builders[bi].build(false));
+    blk.lu = SparseLu<T>(opt_.lu);
+    blk.warm = false;
+    blk.gather.assign(blk.mat.pattern().nnz(), SIZE_MAX);
+    blk.ecols.assign(blk.touched.size(), typename Block::ECol{});
+    blk.fentries.clear();
+  }
+
+  // Pass 2 — fill the gather maps now the block patterns exist.
+  for (int r = 0; r < n_; ++r) {
+    const int mr = part.membership[static_cast<std::size_t>(r)];
+    for (std::size_t s = pattern_->row_ptr()[static_cast<std::size_t>(r)];
+         s < pattern_->row_ptr()[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int c = pattern_->col_idx()[s];
+      const int mc = part.membership[static_cast<std::size_t>(c)];
+      if (mr >= 0 && mc >= 0) {
+        Block& blk = blocks_[static_cast<std::size_t>(mr)];
+        const int ls = blk.mat.pattern().find(
+            local[static_cast<std::size_t>(r)],
+            local[static_cast<std::size_t>(c)]);
+        blk.gather[static_cast<std::size_t>(ls)] = s;
+      } else if (mr >= 0) {
+        Block& blk = blocks_[static_cast<std::size_t>(mr)];
+        const auto it = std::lower_bound(blk.touched.begin(),
+                                         blk.touched.end(),
+                                         bpos[static_cast<std::size_t>(c)]);
+        const auto tc = static_cast<std::size_t>(it - blk.touched.begin());
+        blk.ecols[tc].entries.emplace_back(local[static_cast<std::size_t>(r)],
+                                           s);
+      } else if (mc >= 0) {
+        Block& blk = blocks_[static_cast<std::size_t>(mc)];
+        const auto it = std::lower_bound(blk.touched.begin(),
+                                         blk.touched.end(),
+                                         bpos[static_cast<std::size_t>(r)]);
+        blk.fentries.push_back(
+            {static_cast<int>(it - blk.touched.begin()),
+             local[static_cast<std::size_t>(c)], s});
+      }
+    }
+  }
+
+  // Interface pattern: the C entries plus, per block, the clique over
+  // its touched set (where the Schur update F_i B_i^{-1} E_i lands).
+  const int m = static_cast<int>(border_.size());
+  if (m > 0) {
+    PatternBuilder ib(m);
+    for (const CCoord& cc : ccoords) ib.add(cc.br, cc.bc);
+    for (const Block& blk : blocks_)
+      for (const int tr : blk.touched)
+        for (const int tc : blk.touched) ib.add(tr, tc);
+    ipat_ = ib.build(false);
+    imat_ = SparseMatrix<T>(ipat_);
+    igather_.reserve(ccoords.size());
+    for (const CCoord& cc : ccoords)
+      igather_.emplace_back(ipat_->find(cc.br, cc.bc), cc.gslot);
+  } else {
+    ipat_.reset();
+    imat_ = SparseMatrix<T>();
+  }
+  ib_.assign(static_cast<std::size_t>(m), T{});
+  ix_.assign(static_cast<std::size_t>(m), T{});
+
+  // Workspaces: everything the numeric phases touch, hoisted here.
+  for (Block& blk : blocks_) {
+    const std::size_t bn = blk.unknowns.size();
+    const std::size_t t = blk.touched.size();
+    std::size_t ecount = 0;
+    for (const auto& ec : blk.ecols) ecount += ec.entries.size();
+    blk.evals.assign(ecount, T{});
+    blk.fvals.assign(blk.fentries.size(), T{});
+    blk.contrib.assign(t * t, T{});
+    blk.cslots.assign(t * t, -1);
+    for (std::size_t i = 0; i < t; ++i)
+      for (std::size_t j = 0; j < t; ++j)
+        blk.cslots[i * t + j] = ipat_->find(blk.touched[i], blk.touched[j]);
+    blk.rhs.assign(bn, T{});
+    blk.sol.assign(bn, T{});
+    blk.erhs.assign(bn * t, T{});
+    blk.esol.assign(bn * t, T{});
+    for (const std::size_t g : blk.gather)
+      if (g == SIZE_MAX)
+        throw std::logic_error("SchurLu::attach: uncovered block slot");
+  }
+}
+
+template <typename T>
+void SchurLu<T>::block_numeric(Block& blk, const SparseMatrix<T>& a,
+                               bool pivoting) {
+  SchurTelemetry& tm = SchurTelemetry::get();
+  const auto& av = a.values();
+  auto& bv = blk.mat.values();
+  for (std::size_t ls = 0; ls < blk.gather.size(); ++ls)
+    bv[ls] = av[blk.gather[ls]];
+
+  blk.singular = -1;
+  if (pivoting || !blk.warm) {
+    try {
+      blk.lu.factor(blk.mat);
+    } catch (const SingularMatrixError& e) {
+      // Unpivotable under block-local pivoting: record the column and
+      // let factor_blocks gather every failing block after the barrier.
+      blk.singular = static_cast<int>(e.column());
+      return;
+    }
+    blk.warm = true;
+    tm.block_factors.add();
+  } else {
+    try {
+      blk.lu.refactor(blk.mat);
+      tm.block_refactors.add();
+    } catch (const PivotDriftError&) {
+      // Drift is recoverable block-locally: re-run the block's pivoting
+      // factorization instead of surrendering the whole system.
+      try {
+        blk.lu.factor(blk.mat);
+      } catch (const SingularMatrixError& e) {
+        blk.singular = static_cast<int>(e.column());
+        blk.warm = false;
+        return;
+      }
+      block_repivots_.fetch_add(1, std::memory_order_relaxed);
+      tm.repivots.add();
+    }
+  }
+
+  // Capture the E/F coupling values so solve() needs only `this`.
+  {
+    std::size_t ei = 0;
+    for (const auto& ec : blk.ecols)
+      for (const auto& e : ec.entries) blk.evals[ei++] = av[e.second];
+  }
+  for (std::size_t fi = 0; fi < blk.fentries.size(); ++fi)
+    blk.fvals[fi] = av[blk.fentries[fi].gslot];
+
+  // Schur contribution F_i B_i^{-1} E_i: every touched border column is
+  // a lane of ONE multi-RHS sweep over the block factor — the factor's
+  // indices are decoded once and applied to all lanes, instead of one
+  // full forward/backward solve per column.  This is the dominant
+  // per-refactor cost of the Schur path, so the lane batching is what
+  // keeps a refactor cycle competitive with the flat solver's.
+  const std::size_t t = blk.touched.size();
+  if (t == 0) return;
+  std::fill(blk.erhs.begin(), blk.erhs.end(), T{});
+  std::size_t ei = 0;
+  for (std::size_t tc = 0; tc < t; ++tc)
+    for (const auto& e : blk.ecols[tc].entries)
+      blk.erhs[static_cast<std::size_t>(e.first) * t + tc] = blk.evals[ei++];
+  blk.lu.solve_multi(blk.erhs, blk.esol, t);
+  std::fill(blk.contrib.begin(), blk.contrib.end(), T{});
+  for (std::size_t fi = 0; fi < blk.fentries.size(); ++fi) {
+    const auto& f = blk.fentries[fi];
+    const T fv = blk.fvals[fi];
+    const T* srow = blk.esol.data() + static_cast<std::size_t>(f.lcol) * t;
+    T* crow = blk.contrib.data() + static_cast<std::size_t>(f.trow) * t;
+    for (std::size_t tc = 0; tc < t; ++tc) crow[tc] += fv * srow[tc];
+  }
+}
+
+template <typename T>
+void SchurLu<T>::factor_blocks(const SparseMatrix<T>& a, bool pivoting) {
+  obs::ScopedTimer timed(SchurTelemetry::get().parallel_factor);
+  ctx_a_ = &a;
+  ctx_pivot_ = pivoting;
+  // Capture only `this` so the std::function stays in its small-buffer
+  // slot — the hot loop must not allocate.
+  runtime::parallel_for(
+      blocks_.size(),
+      [this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          block_numeric(blocks_[i], *ctx_a_, ctx_pivot_);
+      },
+      1);
+  ctx_a_ = nullptr;
+  // Gather singular-pivot reports serially in block order so the
+  // promotion set is deterministic at any thread count.
+  std::vector<int> singular;
+  for (const Block& blk : blocks_)
+    if (blk.singular >= 0)
+      singular.push_back(
+          blk.unknowns[static_cast<std::size_t>(blk.singular)]);
+  if (!singular.empty()) {
+    std::sort(singular.begin(), singular.end());
+    throw SchurBlockSingularError(std::move(singular));
+  }
+}
+
+template <typename T>
+void SchurLu<T>::assemble_interface(const SparseMatrix<T>& a, bool pivoting) {
+  if (border_.empty()) return;
+  SchurTelemetry& tm = SchurTelemetry::get();
+  imat_.set_zero();
+  auto& iv = imat_.values();
+  const auto& av = a.values();
+  for (const auto& [islot, gslot] : igather_)
+    iv[static_cast<std::size_t>(islot)] = av[gslot];
+  // Subtract the block contributions in fixed block order — this serial
+  // reduction is what makes results bit-identical at any thread count.
+  for (const Block& blk : blocks_) {
+    const std::size_t t = blk.touched.size();
+    for (std::size_t idx = 0; idx < t * t; ++idx)
+      iv[static_cast<std::size_t>(blk.cslots[idx])] -= blk.contrib[idx];
+  }
+  if (pivoting || !ilu_warm_) {
+    ilu_.factor(imat_);
+    ilu_warm_ = true;
+  } else {
+    try {
+      ilu_.refactor(imat_);
+    } catch (const PivotDriftError&) {
+      ilu_.factor(imat_);
+      block_repivots_.fetch_add(1, std::memory_order_relaxed);
+      tm.repivots.add();
+    }
+  }
+}
+
+template <typename T>
+void SchurLu<T>::factor(const SparseMatrix<T>& a) {
+  if (!attached()) throw std::logic_error("SchurLu::factor before attach");
+  factor_blocks(a, true);
+  assemble_interface(a, true);
+}
+
+template <typename T>
+void SchurLu<T>::refactor(const SparseMatrix<T>& a) {
+  if (!attached()) throw std::logic_error("SchurLu::refactor before attach");
+  factor_blocks(a, false);
+  assemble_interface(a, false);
+}
+
+template <typename T>
+void SchurLu<T>::solve(const std::vector<T>& b, std::vector<T>& x) const {
+  if (!attached()) throw std::logic_error("SchurLu::solve before factor");
+  if (b.size() != static_cast<std::size_t>(n_))
+    throw std::invalid_argument("SchurLu::solve: size mismatch");
+  x.resize(static_cast<std::size_t>(n_));
+  ctx_b_ = &b;
+  ctx_x_ = &x;
+
+  // 1. Interior pre-solves y_i = B_i^{-1} b_i, in parallel.
+  runtime::parallel_for(
+      blocks_.size(),
+      [this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Block& blk = const_cast<Block&>(blocks_[i]);
+          const auto& bg = *ctx_b_;
+          for (std::size_t li = 0; li < blk.unknowns.size(); ++li)
+            blk.rhs[li] = bg[static_cast<std::size_t>(blk.unknowns[li])];
+          blk.lu.solve(blk.rhs, blk.sol);
+        }
+      },
+      1);
+
+  // 2. Border reduction and interface solve, serial in block order.
+  if (!border_.empty()) {
+    obs::ScopedTimer timed(SchurTelemetry::get().interface_solve);
+    for (std::size_t j = 0; j < border_.size(); ++j)
+      ib_[j] = b[static_cast<std::size_t>(border_[j])];
+    for (const Block& blk : blocks_) {
+      for (std::size_t fi = 0; fi < blk.fentries.size(); ++fi) {
+        const auto& f = blk.fentries[fi];
+        ib_[static_cast<std::size_t>(
+            blk.touched[static_cast<std::size_t>(f.trow)])] -=
+            blk.fvals[fi] * blk.sol[static_cast<std::size_t>(f.lcol)];
+      }
+    }
+    ilu_.solve(ib_, ix_);
+    for (std::size_t j = 0; j < border_.size(); ++j)
+      x[static_cast<std::size_t>(border_[j])] = ix_[j];
+  }
+
+  // 3. Interior back-substitution x_i = B_i^{-1} (b_i - E_i x_b), in
+  // parallel.
+  runtime::parallel_for(
+      blocks_.size(),
+      [this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Block& blk = const_cast<Block&>(blocks_[i]);
+          const auto& bg = *ctx_b_;
+          auto& xg = *ctx_x_;
+          for (std::size_t li = 0; li < blk.unknowns.size(); ++li)
+            blk.rhs[li] = bg[static_cast<std::size_t>(blk.unknowns[li])];
+          std::size_t ei = 0;
+          for (std::size_t tc = 0; tc < blk.touched.size(); ++tc) {
+            const T xb =
+                ix_[static_cast<std::size_t>(blk.touched[tc])];
+            for (const auto& e : blk.ecols[tc].entries)
+              blk.rhs[static_cast<std::size_t>(e.first)] -=
+                  blk.evals[ei++] * xb;
+          }
+          blk.lu.solve(blk.rhs, blk.sol);
+          for (std::size_t li = 0; li < blk.unknowns.size(); ++li)
+            xg[static_cast<std::size_t>(blk.unknowns[li])] = blk.sol[li];
+        }
+      },
+      1);
+  ctx_b_ = nullptr;
+  ctx_x_ = nullptr;
+}
+
+template class SchurLu<double>;
+template class SchurLu<std::complex<double>>;
+
+}  // namespace si::linalg

@@ -1,0 +1,243 @@
+// Domain-decomposition solve for one MNA system: bordered-block-diagonal
+// (BBD) ordering plus a Schur-complement LU that factors the independent
+// diagonal blocks in parallel on the runtime pool.
+//
+// Chain/array netlists (delay lines, cascaded modulator sections) have an
+// almost-block-tridiagonal structure: each section couples only to its
+// neighbors through a handful of switch conductances, and to a few global
+// hubs (the supply rail).  `bbd_partition` exposes that structure on the
+// frozen SparsePattern alone:
+//
+//   1. hub extraction — unknowns whose pattern degree is far above the
+//      typical cell degree (the vdd node and anything similarly global)
+//      go straight to the interface border;
+//   2. chain sectioning — BFS level structure from a pseudo-peripheral
+//      start slices each remaining connected component into contiguous,
+//      roughly equal chunks;
+//   3. separator completion — for every remaining edge that crosses two
+//      chunks, the endpoint in the higher-numbered chunk moves to the
+//      border, after which the blocks are mutually independent;
+//   4. dangling promotion — an interior unknown whose off-diagonal
+//      neighbors are all border (e.g. the supply source's branch current,
+//      which couples only to the vdd node) would leave a structurally
+//      singular zero row inside its block, so it is promoted to the
+//      border as well.
+//
+// Every step is a deterministic function of the pattern (ascending index
+// scans, no address- or hash-order iteration), so the partition — and
+// everything derived from it — is reproducible across runs and platforms.
+//
+// `SchurLu` then solves A x = b over the partition.  With interiors
+// B_1..B_k, border coupling E_i (block rows, border cols) / F_i (border
+// rows, block cols) and border diagonal C:
+//
+//   factor:  B_i = L_i U_i per block, in parallel (each block a standard
+//            split symbolic/numeric SparseLu, so refactor() and
+//            pivot-drift re-pivot work per block), then the Schur
+//            complement S = C - sum_i F_i B_i^{-1} E_i accumulated in
+//            fixed block order and factored serially;
+//   solve:   y_i = B_i^{-1} b_i in parallel, border solve
+//            S x_b = b_c - sum_i F_i y_i serially, then the interiors
+//            x_i = B_i^{-1} (b_i - E_i x_b) back-substituted in parallel.
+//
+// Per-block work is deterministic and the cross-block reductions are
+// accumulated serially in block order, so results are bit-identical at
+// any thread count.  All workspaces are hoisted into attach(); factor /
+// refactor / solve allocate nothing once warm (at thread counts > 1 the
+// pool's task envelopes are the only heap traffic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace si::linalg {
+
+/// Tuning knobs for bbd_partition.  The defaults are sized for SI cell
+/// netlists (a few unknowns per memory pair, sections of tens).
+struct BbdOptions {
+  int target_blocks = 0;  ///< 0 = auto: interior / min_block, clamped
+  int min_block = 24;     ///< don't slice blocks smaller than this
+  int max_blocks = 32;    ///< upper clamp for the auto block count
+  /// Hub threshold: degree >= max(hub_degree_min, dim * hub_degree_frac)
+  /// sends an unknown straight to the border.
+  int hub_degree_min = 16;
+  double hub_degree_frac = 1.0 / 16.0;
+  /// Partitions whose border exceeds this fraction of the dimension are
+  /// degenerate (the interface solve would dominate).
+  double max_border_frac = 0.25;
+};
+
+/// Result of the BBD ordering pre-pass.
+struct BbdPartition {
+  /// Interior unknowns per block, ascending global indices.
+  std::vector<std::vector<int>> blocks;
+  /// Interface unknowns, ascending global indices.
+  std::vector<int> border;
+  /// Per unknown: owning block id, or -1 for border unknowns.
+  std::vector<int> membership;
+  /// True when the pattern did not decompose (fewer than two blocks, or
+  /// a border beyond BbdOptions::max_border_frac); callers should fall
+  /// back to the flat solver.
+  bool degenerate = true;
+
+  std::size_t dim() const { return membership.size(); }
+  std::size_t block_count() const { return blocks.size(); }
+  std::size_t border_size() const { return border.size(); }
+};
+
+/// Partitions the (structurally symmetric) pattern into independent
+/// diagonal blocks plus an interface border — see the file comment for
+/// the algorithm.  Deterministic; runs once per topology.
+BbdPartition bbd_partition(const SparsePattern& p, const BbdOptions& opt = {});
+
+/// Moves interior unknowns to the border (delayed-pivot promotion):
+/// blocks that cannot pivot an unknown safely hand it to the interface,
+/// where the full cross-block coupling is available.  Keeps blocks and
+/// border ascending, drops emptied blocks, renumbers membership, and
+/// recomputes `degenerate` under `opt`'s border bound.  Exact: the
+/// partition only reorders the elimination, never the solution.
+void bbd_promote_to_border(BbdPartition& part, const std::vector<int>& unknowns,
+                           const BbdOptions& opt = {});
+
+/// Thrown by SchurLu::factor / refactor when one or more blocks are
+/// numerically singular under block-local pivoting.  Carries the global
+/// indices of the first unpivotable unknown of every failing block
+/// (ascending, deterministic, independent of thread count) so the
+/// caller can bbd_promote_to_border() them and retry instead of
+/// surrendering to the flat solver.
+class SchurBlockSingularError : public SingularMatrixError {
+ public:
+  explicit SchurBlockSingularError(std::vector<int> unknowns)
+      : SingularMatrixError(static_cast<std::size_t>(unknowns.front())),
+        unknowns_(std::move(unknowns)) {}
+  const std::vector<int>& unknowns() const { return unknowns_; }
+
+ private:
+  std::vector<int> unknowns_;
+};
+
+/// Schur-complement LU over a BBD partition (see file comment).
+/// Mirrors the SparseLu surface: attach() once per topology, factor()
+/// to (re-)pivot, refactor() per Newton iteration, solve() any number
+/// of right-hand sides per factorization.
+template <typename T>
+class SchurLu {
+ public:
+  struct Options {
+    typename SparseLu<T>::Options lu;  ///< per-block and interface LU
+  };
+
+  SchurLu() = default;
+
+  /// Builds the per-block patterns, gather maps, interface pattern and
+  /// workspaces.  `part` must be non-degenerate and derived from
+  /// `pattern`.  Once per topology; everything after is allocation-free.
+  void attach(std::shared_ptr<const SparsePattern> pattern,
+              const BbdPartition& part, Options opt = {});
+
+  bool attached() const { return !blocks_.empty(); }
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t border_size() const { return border_.size(); }
+
+  /// Full factorization: per-block pivoting SparseLu::factor in
+  /// parallel, then the Schur complement of the border.  Throws
+  /// SchurBlockSingularError when blocks are singular under block-local
+  /// pivoting — callers promote the reported unknowns to the border
+  /// (bbd_promote_to_border) and retry on the new partition.  Throws
+  /// plain SingularMatrixError when the interface system is singular —
+  /// callers fall back to the flat solver, which can pivot across the
+  /// whole system.
+  void factor(const SparseMatrix<T>& a);
+
+  /// Numeric-only refactorization.  A block whose frozen pivots drifted
+  /// re-pivots locally (block_repivots() counts them); drift never
+  /// escapes to the caller.
+  void refactor(const SparseMatrix<T>& a);
+
+  /// Solves A x = b (global indices) for the values last given to
+  /// factor()/refactor().  Bit-identical at any thread count.
+  void solve(const std::vector<T>& b, std::vector<T>& x) const;
+
+  /// Pivot-drift recoveries (a block or the interface system re-ran its
+  /// pivoting factorization instead of surrendering the solve).
+  std::uint64_t block_repivots() const {
+    return block_repivots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Block {
+    std::vector<int> unknowns;  // global indices, ascending
+    SparseMatrix<T> mat;        // B_i values over the block pattern
+    SparseLu<T> lu;
+    bool warm = false;  // factored at least once
+    // Block-local column of a singular pivot seen by the last
+    // factor_blocks pass, or -1; collected serially after the parallel
+    // region so the promotion set is deterministic.
+    int singular = -1;
+    // B_i gather: local slot <- global slot (covers every local slot).
+    std::vector<std::size_t> gather;
+    // Border unknowns this block touches (indices into border_).
+    std::vector<int> touched;
+    // E_i, by touched-border column: (local row, global slot).
+    struct ECol {
+      std::vector<std::pair<int, std::size_t>> entries;
+    };
+    std::vector<ECol> ecols;
+    // F_i entries: (touched index, local col, global slot).
+    struct FEntry {
+      int trow;
+      int lcol;
+      std::size_t gslot;
+    };
+    std::vector<FEntry> fentries;
+    // Values of E/F captured during (re)factor, aligned with
+    // ecols/fentries, so solve() needs no access to the global matrix.
+    std::vector<T> evals;
+    std::vector<T> fvals;
+    // Schur contribution F_i B_i^{-1} E_i, dense touched x touched,
+    // and the interface-matrix slot of each contribution entry.
+    std::vector<T> contrib;
+    std::vector<int> cslots;
+    mutable std::vector<T> rhs, sol;
+    // Multi-RHS lanes for the contribution pass: E_i and B_i^{-1} E_i
+    // as row-major (block size) x (touched count), solved in one
+    // solve_multi sweep instead of one full solve per touched column.
+    std::vector<T> erhs, esol;
+  };
+
+  void factor_blocks(const SparseMatrix<T>& a, bool pivoting);
+  void block_numeric(Block& blk, const SparseMatrix<T>& a, bool pivoting);
+  void assemble_interface(const SparseMatrix<T>& a, bool pivoting);
+
+  Options opt_;
+  int n_ = 0;
+  std::shared_ptr<const SparsePattern> pattern_;
+  std::vector<Block> blocks_;
+  std::vector<int> border_;  // global index of border unknown j
+  // Interface system S (border x border): pattern = C entries plus the
+  // per-block touched-set cliques.
+  std::shared_ptr<const SparsePattern> ipat_;
+  SparseMatrix<T> imat_;
+  SparseLu<T> ilu_;
+  bool ilu_warm_ = false;
+  // C gather: interface slot <- global slot.
+  std::vector<std::pair<int, std::size_t>> igather_;
+  mutable std::vector<T> ib_, ix_;
+  std::atomic<std::uint64_t> block_repivots_{0};
+  // parallel_for bodies capture only `this` (keeps the std::function in
+  // its small-buffer slot: no allocation per refactor/solve); the
+  // per-call operands live here.
+  mutable const SparseMatrix<T>* ctx_a_ = nullptr;
+  mutable const std::vector<T>* ctx_b_ = nullptr;
+  mutable std::vector<T>* ctx_x_ = nullptr;
+  bool ctx_pivot_ = false;
+};
+
+using SchurLuD = SchurLu<double>;
+using SchurLuZ = SchurLu<std::complex<double>>;
+
+}  // namespace si::linalg

@@ -77,8 +77,12 @@ std::vector<int> min_degree_order(const SparsePattern& p) {
   order.reserve(static_cast<std::size_t>(n));
   std::vector<int> merged;
   for (int step = 0; step < n; ++step) {
-    // Pick the alive node of minimum degree (ties by index, so the
-    // ordering is deterministic).
+    // Pick the alive node of minimum degree.  The ascending scan with a
+    // strict '<' implements the documented stable tie-break: equal
+    // degrees resolve to the lowest original index, so the ordering is
+    // a pure function of the pattern (see min_degree_order in
+    // sparse.hpp; do not replace this with a heap or hash-ordered scan
+    // without preserving that contract).
     int best = -1;
     std::size_t best_deg = 0;
     for (int v = 0; v < n; ++v) {
@@ -193,7 +197,15 @@ void SparseLu<T>::build_symbolic(const SparseMatrix<T>& a) {
             a.values()[s];
     }
     std::vector<std::size_t> pivot_perm;
-    lu_factor_in_place(m, pivot_perm, opt_.pivot_tol);  // may throw Singular
+    try {
+      lu_factor_in_place(m, pivot_perm, opt_.pivot_tol);
+    } catch (const SingularMatrixError& e) {
+      // Report the ORIGINAL column index, not the position in the
+      // min-degree pre-order — callers (the Schur engine's delayed-pivot
+      // promotion) act on indices in their own numbering.
+      throw SingularMatrixError(
+          static_cast<std::size_t>(cp_[e.column()]));
+    }
     rp_.resize(un);
     for (int i = 0; i < n_; ++i)
       rp_[static_cast<std::size_t>(i)] = cp_[pivot_perm[static_cast<std::size_t>(i)]];
@@ -235,14 +247,19 @@ void SparseLu<T>::build_symbolic(const SparseMatrix<T>& a) {
 
   fvals_.assign(fill_->nnz(), T{});
   diag_inv_.assign(un, T{});
+  diag_ref_.assign(un, 0.0);
   work_.assign(un, T{});
   ywork_.assign(un, T{});
   a_pattern_ = a.pattern_ptr();
 }
 
 template <typename T>
-void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
+void SparseLu<T>::refactor_values(const SparseMatrix<T>& a, bool fresh_pivot) {
   const auto un = static_cast<std::size_t>(n_);
+  // A refactor pivot below the drift threshold is still sound when it
+  // has kept the magnitude it had at the pivoting factorization — the
+  // permutation was chosen with that scale, so nothing has drifted.
+  constexpr double kRefFrac = 0.1;
 
   const auto& frp = fill_->row_ptr();
   const auto& fci = fill_->col_idx();
@@ -250,17 +267,24 @@ void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
     // Scatter row i of the permuted A over the frozen factor pattern.
     for (std::size_t s = frp[i]; s < frp[i + 1]; ++s)
       work_[static_cast<std::size_t>(fci[s])] = T{};
-    double rmax = 0.0;  // row scale, for the row-relative drift test
+    double rmax = 0.0;  // row scale, for the row-relative pivot tests
     for (std::size_t s = as_row_ptr_[i]; s < as_row_ptr_[i + 1]; ++s) {
       const T v = a.values()[as_slot_[s]];
       work_[static_cast<std::size_t>(as_col_[s])] += v;
       rmax = std::max(rmax, std::abs(v));
     }
     // MNA rows span many orders of magnitude (a gate node guarded only
-    // by gmin sits next to a 1-siemens switch row), so the drift test
-    // must be relative to THIS row's scale, not the global matrix max —
-    // a globally-relative threshold would flag legitimately tiny rows.
-    const double tol = opt_.drift_tol * (rmax > 0 ? rmax : 1.0);
+    // by gmin sits next to a 1-siemens switch row), so both tests are
+    // relative to THIS row's scale, not the global matrix max — a
+    // globally-relative threshold would flag legitimately tiny rows.
+    // The first numeric pass reuses the values the pivoting pass just
+    // accepted, so it applies the (loose) singularity threshold, not
+    // the drift threshold: rejecting a pivot partial pivoting chose
+    // moments earlier would be contradictory (BBD interior blocks hold
+    // whole rows at the gmin scale and rightly factor this way).
+    const double scale = rmax > 0 ? rmax : 1.0;
+    const double tol =
+        (fresh_pivot ? opt_.pivot_tol : opt_.drift_tol) * scale;
     // Up-looking elimination against the already-factored rows.
     for (std::size_t s = frp[i]; s < urow_start_[i]; ++s) {
       const auto j = static_cast<std::size_t>(fci[s]);
@@ -271,7 +295,8 @@ void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
         work_[static_cast<std::size_t>(fci[t])] -= lij * fvals_[t];
     }
     const T d = work_[i];
-    if (std::abs(d) < tol) {
+    const double ad = std::abs(d);
+    if (ad < tol && (fresh_pivot || ad < kRefFrac * diag_ref_[i])) {
       factored_ = false;
       // Local static so the hot numeric path never touches the registry
       // lock; the MNA engine re-pivots (or goes dense) on this signal.
@@ -279,6 +304,7 @@ void SparseLu<T>::refactor_values(const SparseMatrix<T>& a) {
       drift.add();
       throw PivotDriftError(i);
     }
+    if (fresh_pivot) diag_ref_[i] = ad;
     diag_inv_[i] = T{1} / d;
     for (std::size_t s = frp[i]; s < frp[i + 1]; ++s)
       fvals_[s] = work_[static_cast<std::size_t>(fci[s])];
@@ -292,11 +318,13 @@ void SparseLu<T>::factor(const SparseMatrix<T>& a) {
   obs::ScopedTimer timed(t);
   build_symbolic(a);  // throws SingularMatrixError on singular input
   try {
-    refactor_values(a);
+    refactor_values(a, /*fresh_pivot=*/true);
   } catch (const PivotDriftError& e) {
     // The pivoting dense pass succeeded but the frozen-order numeric
-    // pass hit a tiny pivot: treat as singular for this topology.
-    throw SingularMatrixError(e.row());
+    // pass hit a tiny pivot (its row-relative drift test is stricter
+    // than the dense pass's global threshold): treat as singular for
+    // this topology, reporting the original column index.
+    throw SingularMatrixError(static_cast<std::size_t>(cp_[e.row()]));
   }
 }
 
@@ -308,7 +336,7 @@ void SparseLu<T>::refactor(const SparseMatrix<T>& a) {
   }
   static obs::Timer& t = obs::timer("linalg.sparse.refactor");
   obs::ScopedTimer timed(t);
-  refactor_values(a);
+  refactor_values(a, /*fresh_pivot=*/false);
 }
 
 template <typename T>
@@ -337,6 +365,51 @@ void SparseLu<T>::solve(const std::vector<T>& b, std::vector<T>& x) const {
   x.resize(un);
   for (std::size_t j = 0; j < un; ++j)
     x[static_cast<std::size_t>(cp_[j])] = ywork_[j];
+}
+
+template <typename T>
+void SparseLu<T>::solve_multi(const std::vector<T>& b, std::vector<T>& x,
+                              std::size_t k) const {
+  const auto un = static_cast<std::size_t>(n_);
+  if (!factored_)
+    throw std::logic_error("SparseLu::solve_multi before factor");
+  if (b.size() != un * k)
+    throw std::invalid_argument("SparseLu::solve_multi: size mismatch");
+  const auto& frp = fill_->row_ptr();
+  const auto& fci = fill_->col_idx();
+  mwork_.resize(un * k);
+  T* y = mwork_.data();
+  // Forward-substitute L Y = (row-permuted) B, all lanes per row.
+  for (std::size_t i = 0; i < un; ++i) {
+    T* yi = y + i * k;
+    const T* bi = b.data() + static_cast<std::size_t>(rp_[i]) * k;
+    for (std::size_t l = 0; l < k; ++l) yi[l] = bi[l];
+    for (std::size_t s = frp[i]; s < urow_start_[i]; ++s) {
+      const T f = fvals_[s];
+      if (f == T{}) continue;
+      const T* yj = y + static_cast<std::size_t>(fci[s]) * k;
+      for (std::size_t l = 0; l < k; ++l) yi[l] -= f * yj[l];
+    }
+  }
+  // Back-substitute U Z = Y.
+  for (std::size_t ii = un; ii-- > 0;) {
+    T* yi = y + ii * k;
+    for (std::size_t s = urow_start_[ii] + 1; s < frp[ii + 1]; ++s) {
+      const T f = fvals_[s];
+      if (f == T{}) continue;
+      const T* yj = y + static_cast<std::size_t>(fci[s]) * k;
+      for (std::size_t l = 0; l < k; ++l) yi[l] -= f * yj[l];
+    }
+    const T d = diag_inv_[ii];
+    for (std::size_t l = 0; l < k; ++l) yi[l] *= d;
+  }
+  // Un-permute columns: X[cp_[j], :] = Z[j, :].
+  x.resize(un * k);
+  for (std::size_t j = 0; j < un; ++j) {
+    const T* yj = y + j * k;
+    T* xj = x.data() + static_cast<std::size_t>(cp_[j]) * k;
+    for (std::size_t l = 0; l < k; ++l) xj[l] = yj[l];
+  }
 }
 
 template class SparseLu<double>;

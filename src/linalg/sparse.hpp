@@ -243,6 +243,13 @@ class SparseMatrix {
 /// pattern; returns `order` with order[k] = original index eliminated at
 /// step k.  Small-n implementation: the circuits this serves have at
 /// most a few thousand unknowns and the ordering runs once per topology.
+///
+/// Tie-break contract: among nodes of equal minimum degree the LOWEST
+/// original index is eliminated first.  This is part of the API — the
+/// ordering (and everything derived from it: factor fill patterns,
+/// pivot sequences, BBD partitions) must be reproducible across
+/// platforms and STL implementations, never dependent on hash or
+/// allocation order.  Pinned by SparseOrdering.MinDegreeTieBreak.
 std::vector<int> min_degree_order(const SparsePattern& p);
 
 /// Symbolic L+U fill pattern of the row/col-permuted matrix, eliminated
@@ -258,8 +265,14 @@ template <typename T>
 class SparseLu {
  public:
   struct Options {
-    double pivot_tol = 1e-13;   ///< singularity threshold (vs max |A|)
-    double drift_tol = 1e-10;   ///< refactor pivot-drift threshold
+    /// Singularity threshold: the pivoting pass (and the first numeric
+    /// pass, which sees the same values) rejects pivots below
+    /// pivot_tol * scale.
+    double pivot_tol = 1e-13;
+    /// Refactor drift threshold: a refactor pivot below
+    /// drift_tol * row_scale that has also collapsed relative to its
+    /// magnitude at the last pivoting factorization signals drift.
+    double drift_tol = 1e-10;
   };
 
   explicit SparseLu(Options opt = {}) : opt_(opt) {}
@@ -267,7 +280,8 @@ class SparseLu {
   /// Full factorization: chooses the column pre-order and row pivot
   /// order (partial pivoting on a dense working copy, once per
   /// topology), freezes the fill pattern, then factors numerically.
-  /// Throws SingularMatrixError if the matrix is singular.
+  /// Throws SingularMatrixError if the matrix is singular; the error's
+  /// column() is in the caller's (unpermuted) column numbering.
   void factor(const SparseMatrix<T>& a);
 
   /// Numeric-only refactorization of a matrix with the same pattern as
@@ -281,6 +295,16 @@ class SparseLu {
   /// warm).  Any number of right-hand sides per factorization.
   void solve(const std::vector<T>& b, std::vector<T>& x) const;
 
+  /// Solves A X = B for `k` right-hand sides in ONE sweep over the
+  /// factor.  `b` and `x` are row-major n x k — the k lanes of a row
+  /// are contiguous (entry (i, lane) at i*k + lane) — so the sweep
+  /// decodes each factor entry once and applies it to every lane, the
+  /// same SoA idea as the batched Monte-Carlo solver.  Lane `l` of the
+  /// result is bit-identical to solve() on column `l` alone.  `x` is
+  /// resized; no allocation once the lane workspace is warm.
+  void solve_multi(const std::vector<T>& b, std::vector<T>& x,
+                   std::size_t k) const;
+
   /// Nonzeros in the frozen L+U pattern (symbolic fill), for stats.
   std::size_t factor_nnz() const { return fvals_.size(); }
   std::size_t symbolic_builds() const { return symbolic_builds_; }
@@ -289,7 +313,7 @@ class SparseLu {
   friend class BatchedSparseLu;  // adopts the frozen symbolic structure
 
   void build_symbolic(const SparseMatrix<T>& a);
-  void refactor_values(const SparseMatrix<T>& a);
+  void refactor_values(const SparseMatrix<T>& a, bool fresh_pivot);
 
   Options opt_;
   bool factored_ = false;
@@ -306,9 +330,15 @@ class SparseLu {
   std::vector<std::size_t> as_slot_;
   std::vector<T> fvals_;     // factor values over `fill_`
   std::vector<T> diag_inv_;  // 1 / U(i,i)
+  // |U(i,i)| at the last pivoting factorization: the reference the
+  // refactor drift test measures collapse against.  A pivot that was
+  // legitimately tiny when the permutation was chosen (a gmin-guarded
+  // row) and is still at that scale has not drifted.
+  std::vector<double> diag_ref_;
   // Preallocated workspaces.
   mutable std::vector<T> work_;
   mutable std::vector<T> ywork_;
+  mutable std::vector<T> mwork_;  // solve_multi lanes, n * k once warm
 };
 
 using SparseMatrixD = SparseMatrix<double>;

@@ -64,7 +64,14 @@ void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain) {
   if (n == 0) return;
-  const unsigned threads = thread_count();
+  // Dispatch width is capped at the machine's core count: these bodies
+  // are CPU-bound, so running more software threads than hardware
+  // threads only adds context-switch and steal-contention overhead.
+  // set_thread_count() still sizes the pool exactly as asked (tests
+  // exercise the cross-thread paths explicitly through the pool).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned threads =
+      hw ? std::min(thread_count(), hw) : thread_count();
   if (grain == 0)
     grain = std::max<std::size_t>(1, n / (std::size_t{threads} * 4));
 

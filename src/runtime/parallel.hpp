@@ -29,8 +29,11 @@ ThreadPool& global_pool();
 /// Runs body(begin, end) over disjoint chunks covering [0, n).  `grain`
 /// is the minimum chunk size (0 = auto: ~4 chunks per worker).  Blocks
 /// until every chunk finished; the first chunk exception is rethrown.
-/// Serial fallback (body(0, n) inline) when n <= grain, thread_count()
-/// is 1, or the caller is itself a pool worker.
+/// Serial fallback (body(0, n) inline) when n <= grain, the dispatch
+/// width is 1, or the caller is itself a pool worker.  The dispatch
+/// width is min(thread_count(), hardware cores): the bodies are
+/// CPU-bound, so oversubscribing the machine only adds context-switch
+/// overhead — asking for 8 threads on a 2-core host runs 2 wide.
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain = 0);

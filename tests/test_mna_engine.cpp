@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "obs/telemetry.hpp"
@@ -42,6 +43,10 @@ TEST(SolverSelect, AutoUsesSizeThreshold) {
             SolverKind::kDense);
   EXPECT_EQ(resolve_solver(SolverKind::kAuto, kSparseAutoThreshold),
             SolverKind::kSparse);
+  EXPECT_EQ(resolve_solver(SolverKind::kAuto, kSchurAutoThreshold - 1),
+            SolverKind::kSparse);
+  EXPECT_EQ(resolve_solver(SolverKind::kAuto, kSchurAutoThreshold),
+            SolverKind::kSchur);
 }
 
 TEST(SolverSelect, ExplicitRequestWins) {
@@ -57,8 +62,34 @@ TEST(SolverSelect, EnvOverridesAuto) {
   EXPECT_EQ(resolve_solver(SolverKind::kAuto, 2), SolverKind::kSparse);
   setenv("SI_SOLVER", "dense", 1);
   EXPECT_EQ(resolve_solver(SolverKind::kAuto, 1000), SolverKind::kDense);
-  setenv("SI_SOLVER", "bogus", 1);
+  setenv("SI_SOLVER", "schur", 1);
+  EXPECT_EQ(resolve_solver(SolverKind::kAuto, 2), SolverKind::kSchur);
+  setenv("SI_SOLVER", "auto", 1);
   EXPECT_EQ(resolve_solver(SolverKind::kAuto, 2), SolverKind::kDense);
+  setenv("SI_SOLVER", "", 1);
+  EXPECT_EQ(resolve_solver(SolverKind::kAuto, 2), SolverKind::kDense);
+}
+
+TEST(SolverSelect, RejectsUnknownEnvValues) {
+  EnvGuard env;
+  // A typo such as SI_SOLVER=sprase used to silently mean "auto" and
+  // benchmark the wrong solver; it must fail loudly, naming the valid
+  // values.
+  setenv("SI_SOLVER", "sprase", 1);
+  try {
+    (void)solver_kind_from_env();
+    FAIL() << "expected std::invalid_argument for SI_SOLVER=sprase";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sprase"), std::string::npos) << msg;
+    for (const char* valid : {"auto", "dense", "sparse", "schur"})
+      EXPECT_NE(msg.find(valid), std::string::npos) << msg;
+  }
+  setenv("SI_SOLVER", "bogus", 1);
+  EXPECT_THROW((void)resolve_solver(SolverKind::kAuto, 2),
+               std::invalid_argument);
+  // Explicit requests never consult the environment.
+  EXPECT_EQ(resolve_solver(SolverKind::kDense, 2), SolverKind::kDense);
 }
 
 TEST(SolverSelect, EnvDrivesEngineThroughAnalyses) {

@@ -1,0 +1,508 @@
+// Domain-decomposition (BBD + Schur) solver tests: partition invariants
+// fuzzed over randomized chain/modulator sizes, SchurLu vs dense LU on
+// crafted bordered systems, per-block pivot-drift recovery, DC and
+// %.6g transient waveform parity vs the flat sparse and dense solvers
+// on the Table 1 / Table 2 netlists, pattern-cache invalidation on
+// Circuit::revision() bumps, sticky fallback on degenerate partitions,
+// and bit-identical results at thread counts {1, 2, 8}.
+//
+// (The allocation-free-after-warm-up assertion lives in
+// test_transient_alloc.cpp, which owns the global operator-new
+// instrumentation.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numbers>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "linalg/schur.hpp"
+#include "runtime/parallel.hpp"
+#include "si/netlists.hpp"
+#include "spice/mna.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace si::linalg;
+using namespace si::spice;
+using namespace si::cells::netlists;
+
+/// Runs `run` with SI_SOLVER forced to `kind`, restoring the prior
+/// value afterwards.
+template <typename F>
+auto with_solver(const char* kind, F run) {
+  std::string saved;
+  bool had = false;
+  if (const char* v = std::getenv("SI_SOLVER")) {
+    saved = v;
+    had = true;
+  }
+  setenv("SI_SOLVER", kind, 1);
+  auto result = run();
+  if (had)
+    setenv("SI_SOLVER", saved.c_str(), 1);
+  else
+    unsetenv("SI_SOLVER");
+  return result;
+}
+
+std::string fmt6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void expect_signals_match(const TransientResult& a, const TransientResult& b,
+                          const char* what) {
+  ASSERT_EQ(a.time.size(), b.time.size()) << what;
+  ASSERT_EQ(a.signals.size(), b.signals.size()) << what;
+  for (const auto& [label, av] : a.signals) {
+    const auto& bv = b.signal(label);
+    ASSERT_EQ(av.size(), bv.size()) << what << " " << label;
+    for (std::size_t k = 0; k < av.size(); ++k) {
+      EXPECT_NEAR(av[k], bv[k], 1e-9)
+          << what << " " << label << " sample " << k;
+      EXPECT_EQ(fmt6(av[k]), fmt6(bv[k]))
+          << what << " " << label << " sample " << k;
+    }
+  }
+}
+
+/// The engine's pattern-discovery pass, replicated through the public
+/// stamping API: record every coordinate under both analysis modes and
+/// symmetrize.
+std::shared_ptr<const SparsePattern> discover_pattern(Circuit& c) {
+  c.finalize();
+  const std::size_t n = c.system_size();
+  PatternBuilder rec(static_cast<int>(n));
+  Vector b(n, 0.0), x(n, 0.0);
+  RealStamper r(c, rec, b, x);
+  StampContext probe;
+  probe.mode = AnalysisMode::kDcOperatingPoint;
+  for (const auto& e : c.elements()) e->stamp(r, probe);
+  probe.mode = AnalysisMode::kTransient;
+  probe.dt = 1.0;
+  for (const auto& e : c.elements()) e->stamp(r, probe);
+  return rec.build(true);
+}
+
+void check_partition_invariants(const SparsePattern& p,
+                                const BbdPartition& part) {
+  const int n = p.dim();
+  ASSERT_EQ(part.membership.size(), static_cast<std::size_t>(n));
+  // Every unknown appears exactly once, in the structure its membership
+  // claims, with indices ascending within each list.
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  for (std::size_t bi = 0; bi < part.blocks.size(); ++bi) {
+    ASSERT_FALSE(part.blocks[bi].empty()) << "empty block " << bi;
+    int prev = -1;
+    for (const int v : part.blocks[bi]) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, n);
+      EXPECT_GT(v, prev) << "block " << bi << " not ascending";
+      prev = v;
+      EXPECT_EQ(part.membership[static_cast<std::size_t>(v)],
+                static_cast<int>(bi));
+      ++seen[static_cast<std::size_t>(v)];
+    }
+  }
+  int prev = -1;
+  for (const int v : part.border) {
+    EXPECT_GT(v, prev) << "border not ascending";
+    prev = v;
+    EXPECT_EQ(part.membership[static_cast<std::size_t>(v)], -1);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int v = 0; v < n; ++v)
+    EXPECT_EQ(seen[static_cast<std::size_t>(v)], 1) << "unknown " << v;
+  // Block independence: no pattern entry couples two different blocks.
+  for (int r = 0; r < n; ++r) {
+    const int mr = part.membership[static_cast<std::size_t>(r)];
+    if (mr < 0) continue;
+    for (std::size_t s = p.row_ptr()[static_cast<std::size_t>(r)];
+         s < p.row_ptr()[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int mc = part.membership[static_cast<std::size_t>(p.col_idx()[s])];
+      if (mc < 0) continue;
+      EXPECT_EQ(mr, mc) << "cross-block entry (" << r << ","
+                        << p.col_idx()[s] << ")";
+    }
+  }
+}
+
+TEST(BbdPartitionTest, InvariantsFuzzedOverChainAndModulatorSizes) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> chain_stages(2, 24);
+  std::uniform_int_distribution<int> mod_sections(1, 6);
+  for (int iter = 0; iter < 8; ++iter) {
+    // Delay-line chain of random length.
+    {
+      Circuit c;
+      c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+      DelayStageOptions opt;
+      build_delay_line_chain(c, chain_stages(rng), opt, "dl_");
+      const auto p = discover_pattern(c);
+      const auto part = bbd_partition(*p);
+      check_partition_invariants(*p, part);
+      // Determinism: a second run over the same pattern is identical.
+      const auto again = bbd_partition(*p);
+      EXPECT_EQ(part.membership, again.membership);
+      EXPECT_EQ(part.border, again.border);
+      EXPECT_EQ(part.degenerate, again.degenerate);
+    }
+    // Modulator core of random section count.
+    {
+      Circuit c;
+      c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+      ModulatorCoreOptions opt;
+      build_modulator_core(c, mod_sections(rng), opt, "mod_");
+      const auto p = discover_pattern(c);
+      const auto part = bbd_partition(*p);
+      check_partition_invariants(*p, part);
+    }
+  }
+}
+
+TEST(BbdPartitionTest, DecomposesLargeChainsAndBoundsTheBorder) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  DelayStageOptions opt;
+  build_delay_line_chain(c, 32, opt, "dl_");
+  const auto p = discover_pattern(c);
+  const auto part = bbd_partition(*p);
+  check_partition_invariants(*p, part);
+  EXPECT_FALSE(part.degenerate);
+  EXPECT_GE(part.block_count(), 2u);
+  EXPECT_LE(static_cast<double>(part.border_size()),
+            0.25 * static_cast<double>(p->dim()));
+}
+
+TEST(BbdPartitionTest, TinyCircuitIsDegenerate) {
+  Circuit c;
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+  MemoryPairOptions opt;
+  build_class_ab_memory_pair(c, opt, "m_");
+  const auto p = discover_pattern(c);
+  EXPECT_TRUE(bbd_partition(*p).degenerate);
+}
+
+// ------------------------------------------------------------ SchurLu
+
+/// Hand-built BBD system: two short tridiagonal blocks, each coupled to
+/// a single border unknown (the last index) through its last row.
+struct CraftedSystem {
+  std::shared_ptr<const SparsePattern> pattern;
+  BbdPartition part;
+  SparseMatrixD a;
+};
+
+CraftedSystem crafted_bbd(int block_n) {
+  const int n = 2 * block_n + 1;
+  const int border = n - 1;
+  PatternBuilder b(n);
+  for (int blk = 0; blk < 2; ++blk) {
+    const int base = blk * block_n;
+    for (int i = 1; i < block_n; ++i) b.add(base + i - 1, base + i);
+    b.add(base + block_n - 1, border);
+  }
+  CraftedSystem s;
+  s.pattern = b.build(true);
+  s.part.membership.assign(static_cast<std::size_t>(n), -1);
+  s.part.blocks.resize(2);
+  for (int blk = 0; blk < 2; ++blk)
+    for (int i = 0; i < block_n; ++i) {
+      s.part.blocks[static_cast<std::size_t>(blk)].push_back(blk * block_n +
+                                                             i);
+      s.part.membership[static_cast<std::size_t>(blk * block_n + i)] = blk;
+    }
+  s.part.border = {border};
+  s.part.degenerate = false;
+  s.a = SparseMatrixD(s.pattern);
+  return s;
+}
+
+void fill_crafted_values(SparseMatrixD& a, double diag, double coupling) {
+  a.set_zero();
+  const auto& p = a.pattern();
+  for (int r = 0; r < p.dim(); ++r)
+    for (std::size_t slot = p.row_ptr()[static_cast<std::size_t>(r)];
+         slot < p.row_ptr()[static_cast<std::size_t>(r) + 1]; ++slot) {
+      const int c = p.col_idx()[slot];
+      a.values()[slot] = (r == c) ? diag : coupling;
+    }
+}
+
+std::vector<double> dense_reference(const SparseMatrixD& a,
+                                    const std::vector<double>& b) {
+  auto d = a.to_dense();
+  std::vector<std::size_t> perm;
+  lu_factor_in_place(d, perm);
+  std::vector<double> x;
+  lu_solve_in_place(d, perm, b, x);
+  return x;
+}
+
+TEST(SchurLuTest, MatchesDenseOnCraftedBbdSystem) {
+  auto s = crafted_bbd(5);
+  SchurLuD lu;
+  lu.attach(s.pattern, s.part);
+  EXPECT_TRUE(lu.attached());
+  EXPECT_EQ(lu.block_count(), 2u);
+  EXPECT_EQ(lu.border_size(), 1u);
+
+  fill_crafted_values(s.a, 4.0, 1.0);
+  lu.factor(s.a);
+  std::vector<double> b(static_cast<std::size_t>(s.pattern->dim()));
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = 0.25 * static_cast<double>(i) - 1.0;
+  std::vector<double> x, ref = dense_reference(s.a, b);
+  lu.solve(b, x);
+  ASSERT_EQ(x.size(), ref.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], ref[i], 1e-12) << "unknown " << i;
+
+  // Numeric-only refactor over new values, same pattern.
+  fill_crafted_values(s.a, 3.0, -0.5);
+  lu.refactor(s.a);
+  ref = dense_reference(s.a, b);
+  lu.solve(b, x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], ref[i], 1e-12) << "unknown " << i;
+  EXPECT_EQ(lu.block_repivots(), 0u);
+}
+
+TEST(SchurLuTest, PerBlockPivotDriftRepivotsLocally) {
+  auto s = crafted_bbd(2);  // blocks {0,1} and {2,3}, border {4}
+  SchurLuD lu;
+  lu.attach(s.pattern, s.part);
+
+  fill_crafted_values(s.a, 4.0, 1.0);
+  lu.factor(s.a);
+
+  // Shrink block 0's leading diagonal far below the drift threshold
+  // while its off-diagonal stays O(1): the frozen elimination order
+  // must detect the drift and the block must re-pivot locally instead
+  // of failing the whole system.
+  fill_crafted_values(s.a, 4.0, 1.0);
+  const int slot00 = s.pattern->find(0, 0);
+  ASSERT_GE(slot00, 0);
+  s.a.values()[static_cast<std::size_t>(slot00)] = 1e-14;
+  lu.refactor(s.a);
+  EXPECT_EQ(lu.block_repivots(), 1u);
+
+  std::vector<double> b(static_cast<std::size_t>(s.pattern->dim()), 1.0);
+  std::vector<double> x;
+  lu.solve(b, x);
+  const auto ref = dense_reference(s.a, b);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], ref[i], 1e-9) << "unknown " << i;
+}
+
+// ------------------------------------------------- engine integration
+
+void add_supply(Circuit& c) {
+  c.add<VoltageSource>("Vdd", c.node("vdd"), c.ground(), 3.3);
+}
+
+TransientResult run_table1_chain(int stages) {
+  Circuit c;
+  add_supply(c);
+  DelayStageOptions opt;
+  const auto h = build_delay_line_chain(c, stages, opt, "dl_");
+  const double T = opt.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iin", c.ground(), h.in,
+      std::make_unique<SineWave>(0.0, 5e-6, 1.0 / (8.0 * T), 0.0));
+  TransientOptions topt;
+  topt.t_stop = 1.0 * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.in));
+  tr.probe_voltage(c.node_name(h.out));
+  return tr.run();
+}
+
+TransientResult run_table2_modulator(int sections) {
+  Circuit c;
+  add_supply(c);
+  ModulatorCoreOptions opt;
+  const auto h = build_modulator_core(c, sections, opt, "mod_");
+  const double T = opt.stage.pair.clock_period;
+  c.add<CurrentSource>(
+      "Iinp", c.ground(), h.in_p,
+      std::make_unique<SineWave>(0.0, 4e-6, 1.0 / (8.0 * T), 0.0));
+  c.add<CurrentSource>(
+      "Iinm", c.ground(), h.in_m,
+      std::make_unique<SineWave>(0.0, -4e-6, 1.0 / (8.0 * T), 0.0));
+  TransientOptions topt;
+  topt.t_stop = 0.5 * T;
+  topt.dt = T / 200.0;
+  topt.erc_gate = false;
+  Transient tr(c, topt);
+  tr.probe_voltage(c.node_name(h.out_p));
+  tr.probe_voltage(c.node_name(h.out_m));
+  return tr.run();
+}
+
+TEST(SchurParity, Table1DelayLineTransient) {
+  const auto schur = with_solver("schur", [] { return run_table1_chain(10); });
+  const auto sparse =
+      with_solver("sparse", [] { return run_table1_chain(10); });
+  const auto dense = with_solver("dense", [] { return run_table1_chain(10); });
+  expect_signals_match(sparse, schur, "schur-vs-sparse");
+  expect_signals_match(dense, schur, "schur-vs-dense");
+}
+
+TEST(SchurParity, Table2ModulatorTransient) {
+  const auto schur =
+      with_solver("schur", [] { return run_table2_modulator(2); });
+  const auto sparse =
+      with_solver("sparse", [] { return run_table2_modulator(2); });
+  const auto dense =
+      with_solver("dense", [] { return run_table2_modulator(2); });
+  expect_signals_match(sparse, schur, "schur-vs-sparse");
+  expect_signals_match(dense, schur, "schur-vs-dense");
+}
+
+Vector dc_solution(SolverKind kind, int stages) {
+  Circuit c;
+  add_supply(c);
+  DelayStageOptions opt;
+  const auto h = build_delay_line_chain(c, stages, opt, "dl_");
+  c.add<CurrentSource>("Iin", c.ground(), h.in, 5e-6);
+  MnaEngine engine(c, kind);
+  DcOptions dco;
+  dco.erc_gate = false;
+  const auto result = dc_operating_point(c, engine, dco);
+  if (kind == SolverKind::kSchur) {
+    EXPECT_EQ(engine.active_solver(), SolverKind::kSchur);
+  }
+  return result.x;
+}
+
+TEST(SchurParity, DcOperatingPointAcrossSolvers) {
+  const auto xh = dc_solution(SolverKind::kSchur, 12);
+  const auto xs = dc_solution(SolverKind::kSparse, 12);
+  const auto xd = dc_solution(SolverKind::kDense, 12);
+  ASSERT_EQ(xh.size(), xs.size());
+  ASSERT_EQ(xh.size(), xd.size());
+  for (std::size_t i = 0; i < xh.size(); ++i) {
+    EXPECT_NEAR(xh[i], xs[i], 1e-9) << "unknown " << i;
+    EXPECT_NEAR(xh[i], xd[i], 1e-9) << "unknown " << i;
+    EXPECT_EQ(fmt6(xh[i]), fmt6(xs[i])) << "unknown " << i;
+  }
+}
+
+TEST(SchurEngine, PatternCacheInvalidatedOnRevisionBump) {
+  Circuit c;
+  add_supply(c);
+  DelayStageOptions opt;
+  const auto h = build_delay_line_chain(c, 12, opt, "dl_");
+  c.add<CurrentSource>("Iin", c.ground(), h.in, 5e-6);
+  MnaEngine engine(c, SolverKind::kSchur);
+  DcOptions dco;
+  dco.erc_gate = false;
+  dc_operating_point(c, engine, dco);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kSchur);
+  EXPECT_EQ(engine.stats().pattern_builds, 1u);
+  EXPECT_EQ(engine.stats().schur_partitions, 1u);
+  EXPECT_GE(engine.schur_blocks(), 2u);
+
+  // Topology edit: the revision bump must rebuild pattern AND partition.
+  c.add<Resistor>("Rload", h.out, c.ground(), 1e6);
+  dc_operating_point(c, engine, dco);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kSchur);
+  EXPECT_EQ(engine.stats().pattern_builds, 2u);
+  EXPECT_EQ(engine.stats().schur_partitions, 2u);
+  EXPECT_EQ(engine.stats().schur_fallbacks, 0u);
+}
+
+TEST(SchurEngine, StickyFallbackOnDegeneratePartition) {
+  // A single memory pair is far too small to decompose: the engine must
+  // keep the explicit schur request alive but solve through the flat
+  // sparse path, counting the fallback once per topology.
+  Circuit c;
+  add_supply(c);
+  MemoryPairOptions opt;
+  opt.switches_always_on = true;
+  const auto h = build_class_ab_memory_pair(c, opt, "m_");
+  c.add<CurrentSource>("Iin", c.ground(), h.d, 8e-6);
+  MnaEngine engine(c, SolverKind::kSchur);
+  DcOptions dco;
+  dco.erc_gate = false;
+  dc_operating_point(c, engine, dco);
+  EXPECT_EQ(engine.active_solver(), SolverKind::kSparse);
+  EXPECT_EQ(engine.stats().schur_partitions, 1u);
+  EXPECT_EQ(engine.stats().schur_fallbacks, 1u);
+  // The fallback is sticky: further solves do not re-partition.
+  dc_operating_point(c, engine, dco);
+  EXPECT_EQ(engine.stats().schur_partitions, 1u);
+  EXPECT_EQ(engine.stats().schur_fallbacks, 1u);
+}
+
+TEST(SchurEngine, BitIdenticalAcrossThreadCounts) {
+  auto run = [] {
+    return with_solver("schur", [] { return run_table1_chain(16); });
+  };
+  si::runtime::set_thread_count(1);
+  const auto t1 = run();
+  si::runtime::set_thread_count(2);
+  const auto t2 = run();
+  si::runtime::set_thread_count(8);
+  const auto t8 = run();
+  si::runtime::set_thread_count(0);  // restore the default
+  ASSERT_EQ(t1.time.size(), t2.time.size());
+  ASSERT_EQ(t1.time.size(), t8.time.size());
+  for (const auto& [label, v1] : t1.signals) {
+    const auto& v2 = t2.signal(label);
+    const auto& v8 = t8.signal(label);
+    ASSERT_EQ(v1.size(), v2.size());
+    ASSERT_EQ(v1.size(), v8.size());
+    for (std::size_t k = 0; k < v1.size(); ++k) {
+      // Exact equality: the serial fixed-order border reductions make
+      // the arithmetic identical at any thread count.
+      EXPECT_EQ(v1[k], v2[k]) << label << " sample " << k;
+      EXPECT_EQ(v1[k], v8[k]) << label << " sample " << k;
+    }
+  }
+}
+
+TEST(SchurEngine, AcSweepParityWithFlatSparse) {
+  auto sweep = [](SolverKind kind) {
+    Circuit c;
+    add_supply(c);
+    DelayStageOptions opt;
+    const auto h = build_delay_line_chain(c, 12, opt, "dl_");
+    auto& iin = c.add<CurrentSource>("Iin", c.ground(), h.in, 5e-6);
+    iin.set_ac_magnitude(1e-6);
+    DcOptions dco;
+    dco.erc_gate = false;
+    dc_operating_point(c, dco);
+    AcEngine engine(c, kind);
+    std::vector<std::complex<double>> out;
+    ComplexVector x;
+    for (const double f : {1e3, 1e5, 1e7}) {
+      engine.assemble(2.0 * std::numbers::pi * f);
+      engine.solve(engine.rhs(), x);
+      out.push_back(x[static_cast<std::size_t>(h.out) - 1]);
+    }
+    if (kind == SolverKind::kSchur) {
+      EXPECT_EQ(engine.active_solver(), SolverKind::kSchur);
+    }
+    return out;
+  };
+  const auto hs = sweep(SolverKind::kSchur);
+  const auto fs = sweep(SolverKind::kSparse);
+  ASSERT_EQ(hs.size(), fs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i)
+    EXPECT_LE(std::abs(hs[i] - fs[i]), 1e-9 * (1.0 + std::abs(fs[i])))
+        << "frequency point " << i;
+}
+
+}  // namespace

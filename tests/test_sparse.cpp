@@ -218,6 +218,39 @@ TEST(MinDegree, ProducesAValidPermutation) {
   }
 }
 
+TEST(SparseOrdering, MinDegreeTieBreak) {
+  // Pins the documented tie-break: equal minimum degrees eliminate the
+  // LOWEST original index first, making the ordering a pure function of
+  // the pattern (see min_degree_order in sparse.hpp).
+  {
+    // Star 0-{1,2,3,4} plus edge 3-4.  Ties at step 1 (leaves 1 vs 2),
+    // step 3 (0, 3, 4 all degree 2) and step 4 (3 vs 4).
+    PatternBuilder b(5);
+    for (int leaf : {1, 2, 3, 4}) b.add(0, leaf);
+    b.add(3, 4);
+    const auto order = min_degree_order(*b.build(true));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 0, 3, 4}));
+  }
+  {
+    // Path 0-1-2-3: both endpoints start at degree 1; index order wins.
+    PatternBuilder b(4);
+    b.add(0, 1);
+    b.add(1, 2);
+    b.add(2, 3);
+    const auto order = min_degree_order(*b.build(true));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  }
+  {
+    // Fully tied: an empty pattern (diagonal only) must come out in
+    // index order, and repeated runs must agree exactly.
+    PatternBuilder b(6);
+    const auto p = b.build(true);
+    const auto order = min_degree_order(*p);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(order, min_degree_order(*p));
+  }
+}
+
 TEST(SparseLu, AgreesWithDenseOnRandomMnaSystemsReal) {
   for (std::uint32_t seed = 1; seed <= 8; ++seed)
     check_dense_sparse_agree<double>(10 + 3 * static_cast<int>(seed),
