@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Daemon round-trip smoke for the simulation service (run from ctest):
+#   1. start si_served on an ephemeral port,
+#   2. submit two decks (one per analysis style) plus a stats query,
+#   3. schema-check the reply lines and the serve.* counters,
+#   4. require a graceful drain (daemon exits 0).
+set -u
+
+SERVED="$1"; SUBMIT="$2"; DECK1="$3"; DECK2="$4"
+
+workdir="$(mktemp -d)"
+trap 'kill "$daemon_pid" 2>/dev/null; rm -rf "$workdir"' EXIT
+
+"$SERVED" --port=0 --workers=2 >"$workdir/served.out" 2>"$workdir/served.err" &
+daemon_pid=$!
+
+# Scrape the ephemeral port from the startup line.
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$workdir/served.out")"
+  [ -n "$port" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "daemon died at startup"; cat "$workdir/served.err"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] && echo "daemon on port $port" || { echo "no port line"; exit 1; }
+
+"$SUBMIT" --port="$port" --host-stats --telemetry "$DECK1" "$DECK2" >"$workdir/replies.out"
+rc=$?
+cat "$workdir/replies.out"
+[ $rc -eq 0 ] || { echo "si_submit exited $rc"; exit 1; }
+
+# Schema checks: two ok replies with op payloads, then the stats object.
+[ "$(wc -l <"$workdir/replies.out")" -eq 3 ] || { echo "expected 3 reply lines"; exit 1; }
+grep -q '"status":"ok"' "$workdir/replies.out" || { echo "no ok reply"; exit 1; }
+grep -q '"node_voltages"' "$workdir/replies.out" || { echo "no op payload"; exit 1; }
+tail -n 1 "$workdir/replies.out" | grep -q '"completed":2' || { echo "stats missed completed=2"; exit 1; }
+tail -n 1 "$workdir/replies.out" | grep -q '"rejected":0' || { echo "stats missed rejected=0"; exit 1; }
+# serve.* obs counters ride in the per-reply telemetry snapshot.
+grep -q 'serve.jobs_accepted' "$workdir/replies.out" || { echo "no serve.* counters in telemetry"; exit 1; }
+
+# Graceful shutdown: SIGTERM drains and exits 0 with final stats.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"; drc=$?
+[ $drc -eq 0 ] || { echo "daemon exited $drc"; cat "$workdir/served.err"; exit 1; }
+grep -q '"completed":2' "$workdir/served.err" || { echo "drain stats missed completed=2"; cat "$workdir/served.err"; exit 1; }
+echo "serve daemon smoke OK"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "runtime/env.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/result_cache.hpp"
 #include "runtime/rng_stream.hpp"
@@ -18,11 +20,12 @@ namespace si::analysis {
 
 std::size_t mc_batch_lanes(std::size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("SI_MC_BATCH")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 64);
-    return 1;
-  }
+  // Strict parse (see runtime/env.hpp): junk and non-positive values
+  // throw instead of silently running single-lane.  Values above the
+  // documented 64-lane limit still clamp — a large ask is a valid ask.
+  if (const auto v = runtime::parse_env_long("SI_MC_BATCH", 1,
+                                             std::numeric_limits<long>::max()))
+    return std::min<std::size_t>(static_cast<std::size_t>(*v), 64);
   return 8;
 }
 
@@ -191,7 +194,9 @@ McStatistics monte_carlo_dc(int runs, const McDcWorkload& workload,
                                   .u64(opts.seed0)
                                   .u64(static_cast<std::uint64_t>(runs))
                                   .digest();
-    return detail::aggregate_sorted(runtime::series_cache().get_or_compute(
+    // Shared snapshot from the cache; the aggregation copy happens
+    // outside the cache lock.
+    return detail::aggregate_sorted(*runtime::series_cache().get_or_compute(
         key, [&] { return run_dc_trials(runs, workload, opts); }));
   }
   return detail::aggregate_sorted(run_dc_trials(runs, workload, opts));

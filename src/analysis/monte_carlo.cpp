@@ -105,7 +105,9 @@ McStatistics monte_carlo(int runs,
                                   .u64(opts.seed0)
                                   .u64(static_cast<std::uint64_t>(runs))
                                   .digest();
-    return detail::aggregate_sorted(runtime::series_cache().get_or_compute(
+    // get_or_compute hands back a shared snapshot; the one copy needed
+    // for aggregation happens here, outside the cache lock.
+    return detail::aggregate_sorted(*runtime::series_cache().get_or_compute(
         key, [&] { return run_trials(runs, trial, opts); }));
   }
   return detail::aggregate_sorted(run_trials(runs, trial, opts));

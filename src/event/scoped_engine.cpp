@@ -266,6 +266,10 @@ int ScopedMnaEngine::newton(const StampContext& ctx, linalg::Vector& x,
       stamp_baseline(st, ctx, x, opt.gmin);
 
       for (int it = 1; it <= opt.max_iterations; ++it) {
+        // Same cancellation checkpoint as MnaEngine::newton: the event
+        // engine honors per-job deadlines at Newton-iteration
+        // granularity too.
+        if (opt.cancel) opt.cancel->checkpoint();
         assemble_iteration(st, ctx, x);
         try {
           if (st.dense) {

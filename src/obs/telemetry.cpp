@@ -11,16 +11,29 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+
+#include "runtime/env.hpp"
 
 namespace si::obs {
 
 namespace {
 
 bool env_default() {
-  const char* v = std::getenv("SI_OBS");
-  if (!v) return false;
-  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
-         std::strcmp(v, "true") == 0;
+  // Strict parse via the shared runtime helper (header-only, so no
+  // si_obs -> si_runtime link cycle).  One wrinkle: this runs lazily
+  // from enabled(), which noexcept probes (Counter::add) call — a
+  // throw here would std::terminate.  So instead of propagating, an
+  // unrecognized value is reported loudly on stderr exactly once and
+  // telemetry stays off; SI_OBS=garbage can no longer be mistaken for
+  // a deliberate SI_OBS=0.
+  try {
+    const auto v = runtime::parse_env_flag("SI_OBS");
+    return v.value_or(false);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "si_obs: %s; telemetry disabled\n", e.what());
+    return false;
+  }
 }
 
 std::atomic<bool>& enabled_flag() {

@@ -35,7 +35,10 @@
 namespace si::obs {
 
 /// Runtime master switch.  Seeded at startup from the SI_OBS
-/// environment variable ("1", "on", "true" enable); defaults to off.
+/// environment variable ("1"/"on"/"true" enable, "0"/"off"/"false"
+/// disable); defaults to off.  Any other value is reported on stderr
+/// once and treated as off — probes are noexcept, so this is the one
+/// SI_* variable that cannot throw on misconfiguration.
 bool enabled();
 void set_enabled(bool on);
 

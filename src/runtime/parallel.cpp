@@ -2,20 +2,24 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "runtime/env.hpp"
 
 namespace si::runtime {
 
 namespace {
 
 unsigned env_or_hardware_threads() {
-  if (const char* env = std::getenv("SI_RUNTIME_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
-  }
+  // Strict parse: SI_RUNTIME_THREADS=8x used to parse as 8 (strtol
+  // stopping at the junk) and =abc silently fell back to the hardware
+  // default; both now throw (see runtime/env.hpp policy).
+  if (const auto v = parse_env_long("SI_RUNTIME_THREADS", 1,
+                                    std::numeric_limits<int>::max()))
+    return static_cast<unsigned>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? hw : 1;
 }

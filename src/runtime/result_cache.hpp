@@ -10,8 +10,9 @@
 #include <cstdint>
 #include <cstring>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -65,19 +66,34 @@ struct CacheStats {
 };
 
 /// Thread-safe LRU keyed by a 64-bit content digest.
+///
+/// Values are held as std::shared_ptr<const V>, and every operation is
+/// O(1) element-copies under the mutex: a hit hands out a shared
+/// reference, never a copy of the value.  The earlier design copied the
+/// whole V inside lookup() (and twice in get_or_compute()) while
+/// holding the lock — on a long waveform that serialized every other
+/// thread behind a memcpy the moment the cache was shared across
+/// concurrent requests.  Holders get immutable snapshots: an eviction
+/// or overwrite drops the cache's reference, never the data under a
+/// reader.
 template <typename V>
 class ResultCache {
  public:
+  using Ptr = std::shared_ptr<const V>;
+
   explicit ResultCache(std::size_t capacity = 256)
       : capacity_(capacity ? capacity : 1) {}
 
-  std::optional<V> lookup(std::uint64_t key) {
+  /// Returns a shared reference to the cached value, or nullptr on a
+  /// miss.  The critical section moves list nodes and copies one
+  /// shared_ptr — its length is independent of sizeof(V).
+  Ptr lookup(std::uint64_t key) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
       CacheTelemetry::get().misses.add();
-      return std::nullopt;
+      return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
     ++stats_.hits;
@@ -85,7 +101,11 @@ class ResultCache {
     return it->second->second;
   }
 
-  void store(std::uint64_t key, V value) {
+  /// Stores a value the caller already owns behind a shared_ptr (no
+  /// copy at all).  Passing nullptr is invalid.
+  void store_shared(std::uint64_t key, Ptr value) {
+    if (!value)
+      throw std::invalid_argument("ResultCache::store_shared: null value");
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
@@ -103,14 +123,22 @@ class ResultCache {
     }
   }
 
+  /// Convenience: moves `value` onto the heap outside the lock, then
+  /// stores the handle.
+  void store(std::uint64_t key, V value) {
+    store_shared(key, std::make_shared<const V>(std::move(value)));
+  }
+
   /// lookup-or-compute.  `compute` runs outside the lock, so two
   /// threads racing on the same cold key may both compute (both store
-  /// the same content-addressed value — wasted work, never wrong).
+  /// the same content-addressed value — wasted work, never wrong).  The
+  /// computed value is moved to the heap once and shared; no V copy is
+  /// made on either the hit or the miss path.
   template <typename F>
-  V get_or_compute(std::uint64_t key, F compute) {
-    if (auto hit = lookup(key)) return std::move(*hit);
-    V value = compute();
-    store(key, value);
+  Ptr get_or_compute(std::uint64_t key, F compute) {
+    if (Ptr hit = lookup(key)) return hit;
+    auto value = std::make_shared<const V>(compute());
+    store_shared(key, value);
     return value;
   }
 
@@ -132,11 +160,12 @@ class ResultCache {
   }
 
  private:
+  using Entry = std::pair<std::uint64_t, Ptr>;
+
   std::size_t capacity_;
   mutable std::mutex mu_;
-  std::list<std::pair<std::uint64_t, V>> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t,
-                     typename std::list<std::pair<std::uint64_t, V>>::iterator>
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
       index_;
   CacheStats stats_;
 };

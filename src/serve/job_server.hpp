@@ -1,0 +1,134 @@
+// Simulation-as-a-service job server: accepts newline-delimited JSON
+// requests (see protocol.hpp), schedules them on a bounded worker pool
+// with admission control, enforces per-job deadlines through
+// cooperative cancellation, memoizes results in a shared LRU, and
+// guarantees exactly one structured JSON reply per submit — no request
+// path may kill a worker or the process.
+//
+// The in-process submit() API is the primary surface (tests and the
+// load harness drive it directly, no socket needed); net_server.hpp
+// puts the same server behind a TCP listener.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cancel.hpp"
+#include "runtime/result_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace si::serve {
+
+class JobServer {
+ public:
+  struct Options {
+    /// Worker threads executing jobs.  The serve pool is separate from
+    /// the si_runtime compute pool so queued jobs never starve a
+    /// running solve's inner parallel_for.
+    std::size_t workers = 4;
+    /// Admission control: submits beyond this many queued jobs are
+    /// rejected immediately with a 429-style reply instead of growing
+    /// the queue without bound.
+    std::size_t queue_capacity = 64;
+    /// Deadline applied when a request does not set timeout_ms
+    /// (0 = no default deadline).  Measured from admission, so queue
+    /// wait counts against the job like any service-level deadline.
+    double default_timeout_ms = 0.0;
+    /// Result memo entries (serialized reply payloads).
+    std::size_t cache_capacity = 128;
+    bool enable_cache = true;
+  };
+
+  /// Exact (non-obs-gated) operation counters plus a queue snapshot.
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< admitted past admission control
+    std::uint64_t rejected = 0;   ///< bounced by the full queue
+    std::uint64_t completed = 0;  ///< replied status "ok"
+    std::uint64_t failed = 0;     ///< replied status "error"
+    std::uint64_t cancelled = 0;  ///< replied status "cancelled"
+    std::uint64_t timed_out = 0;  ///< replied status "timeout"
+    std::uint64_t cache_hits = 0; ///< "ok" replies served from the memo
+    std::size_t queue_depth = 0;
+    std::size_t running = 0;
+  };
+
+  explicit JobServer(Options opt);
+  JobServer() : JobServer(Options()) {}
+  ~JobServer();  ///< shutdown(true)
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Submits one request line; the future resolves to the reply line
+  /// (both without trailing newline).  Always resolves exactly once —
+  /// malformed JSON, rejection, job failure and shutdown all produce a
+  /// structured reply, never a broken promise or an exception.
+  std::future<std::string> submit(const std::string& request_line);
+
+  /// Callback flavour for socket frontends: `on_reply` is invoked
+  /// exactly once, from the submitting thread (parse errors,
+  /// rejections) or from a worker.
+  void submit(const std::string& request_line,
+              std::function<void(std::string)> on_reply);
+
+  /// Cooperatively cancels every queued or running job with this id.
+  /// Returns true when at least one job was found.  Running jobs unwind
+  /// at their next Newton-iteration checkpoint.
+  bool cancel(const std::string& id);
+
+  /// Stops the workers.  drain = true finishes every queued job first;
+  /// drain = false replies "cancelled" to queued jobs and cancels the
+  /// running ones cooperatively.  Idempotent.
+  void shutdown(bool drain = true);
+
+  Stats stats() const;
+  /// {"accepted":...,"rejected":...,...} — the daemon's "stats" command.
+  std::string stats_json() const;
+
+  const Options& options() const { return opt_; }
+
+ private:
+  struct Job {
+    JobRequest req;
+    std::function<void(std::string)> on_reply;
+    std::shared_ptr<runtime::CancelToken> token;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop();
+  void execute(Job job);
+  void reply_now(Job& job, std::string reply);
+
+  Options opt_;
+  runtime::ResultCache<std::string> cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  // id -> live cancel tokens (queued + running); multimap because ids
+  // are client-chosen and may repeat.
+  std::unordered_multimap<std::string, std::shared_ptr<runtime::CancelToken>>
+      active_;
+  bool stopping_ = false;
+  bool draining_ = false;
+  std::size_t running_ = 0;
+  std::mutex shutdown_mu_;  ///< serializes shutdown() callers
+
+  std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, completed_{0},
+      failed_{0}, cancelled_{0}, timed_out_{0}, cache_hits_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace si::serve

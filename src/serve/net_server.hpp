@@ -1,0 +1,79 @@
+// TCP front-end for the JobServer: a localhost listener speaking the
+// newline-delimited JSON protocol of protocol.hpp, thread-per-
+// connection, with a per-connection write lock so replies from
+// concurrent workers never interleave mid-line.
+//
+// Control lines (handled by the frontend, not queued as jobs):
+//   {"cmd":"stats"}              -> the JobServer's stats_json()
+//   {"cmd":"cancel","id":"..."}  -> {"cancelled":true|false}
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_server.hpp"
+
+namespace si::serve {
+
+class NetServer {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+    /// back with port()).
+    std::uint16_t port = 0;
+    /// Requests longer than this many bytes drop the connection — a
+    /// line that never ends must not grow an unbounded buffer.
+    std::size_t max_line_bytes = 8u << 20;
+  };
+
+  /// Binds and starts accepting immediately.  Throws std::runtime_error
+  /// when the socket cannot be bound.
+  NetServer(JobServer& jobs, Options opt);
+  explicit NetServer(JobServer& jobs) : NetServer(jobs, Options()) {}
+  ~NetServer();  ///< stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolved when Options::port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Closes the listener and every live connection, then joins the
+  /// accept / connection threads.  The JobServer is NOT shut down —
+  /// it outlives its frontends.  Idempotent.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+  /// Static on purpose: job-completion callbacks capture only the
+  /// shared Connection, so a reply arriving after the NetServer itself
+  /// was destroyed still has everything it needs (and is dropped once
+  /// the connection is closed).
+  static void send_line(const std::shared_ptr<Connection>& conn,
+                        const std::string& reply);
+
+  JobServer& jobs_;
+  Options opt_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;  ///< guards conns_ / threads_
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace si::serve

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "spice/circuit.hpp"
 
 namespace si::spice {
@@ -17,6 +18,12 @@ struct NewtonOptions {
   double v_reltol = 1e-6;
   double max_step = 0.5;    ///< per-iteration clamp on voltage updates [V]
   double gmin = 1e-12;      ///< leak conductance in nonlinear devices
+  /// Cooperative cancellation: when set, every Newton iteration calls
+  /// checkpoint(), so a cancelled or deadline-expired token unwinds a
+  /// DC / transient / Monte-Carlo solve with runtime::CancelledError
+  /// within one iteration.  The token must outlive the solve; nullptr
+  /// (the default) disables the check.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 struct DcOptions {

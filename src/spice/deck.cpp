@@ -52,6 +52,10 @@ struct Directives {
 }  // namespace
 
 DeckRunResult run_deck(const std::string& deck) {
+  return run_deck(deck, DeckRunOptions{});
+}
+
+DeckRunResult run_deck(const std::string& deck, const DeckRunOptions& opt) {
   // Separate analysis directives from element cards.
   std::ostringstream element_deck;
   Directives dir;
@@ -108,12 +112,18 @@ DeckRunResult run_deck(const std::string& deck) {
   }
 
   DeckRunResult r{parse_netlist(element_deck.str()), {}, {}, {}, {}};
-  r.op = dc_operating_point(r.circuit);
+  DcOptions dco;
+  dco.newton = opt.newton;
+  dco.erc_gate = opt.erc_gate;
+  r.op = dc_operating_point(r.circuit, dco);
 
   if (dir.have_tran) {
     TransientOptions topt;
     topt.dt = dir.dt;
     topt.t_stop = dir.t_stop;
+    topt.newton = opt.newton;
+    topt.erc_gate = opt.erc_gate;
+    topt.engine = opt.engine;
     Transient tr(r.circuit, topt);
     for (const auto& [kind, name] : dir.probes) {
       if (kind == 'v')
@@ -124,11 +134,13 @@ DeckRunResult run_deck(const std::string& deck) {
     r.tran = tr.run();
     // The transient leaves the elements at t = t_stop; restore the
     // operating point for the small-signal analyses.
-    if (dir.have_ac || dir.have_noise) r.op = dc_operating_point(r.circuit);
+    if (dir.have_ac || dir.have_noise) r.op = dc_operating_point(r.circuit, dco);
   }
   if (dir.have_ac) {
+    AcOptions aopt;
+    aopt.erc_gate = opt.erc_gate;
     r.ac = ac_analysis(r.circuit,
-                       log_space(dir.ac_lo, dir.ac_hi, dir.ac_ppd));
+                       log_space(dir.ac_lo, dir.ac_hi, dir.ac_ppd), aopt);
   }
   if (dir.have_noise) {
     NoiseOptions nopt;

@@ -36,8 +36,26 @@ struct DeckRunResult {
   NodeId node(const std::string& name) { return circuit.node(name); }
 };
 
+/// Execution controls for run_deck, used by callers (notably the
+/// serve:: job server) that already validated the deck through the ERC
+/// front-end and need cancellation plumbed into the solves.
+struct DeckRunOptions {
+  /// Newton controls for every solve in the run; `newton.cancel`
+  /// carries the cooperative cancellation token into the DC, transient,
+  /// AC and noise loops.
+  NewtonOptions newton;
+  /// Run the pre-simulation ERC gate (set false when the deck was
+  /// already linted through erc::check_deck).
+  bool erc_gate = true;
+  /// Transient engine selection forwarded to TransientOptions::engine.
+  TransientEngine engine = TransientEngine::kAuto;
+};
+
 /// Parses and runs a full deck.  Throws ParseError for malformed
-/// directives and ConvergenceError for failed solves.
+/// directives, ConvergenceError for failed solves, and
+/// runtime::CancelledError when `opt.newton.cancel` fires.
+DeckRunResult run_deck(const std::string& deck,
+                       const DeckRunOptions& opt);
 DeckRunResult run_deck(const std::string& deck);
 
 }  // namespace si::spice

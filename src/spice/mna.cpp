@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/telemetry.hpp"
+#include "runtime/env.hpp"
 
 namespace si::spice {
 
@@ -42,17 +43,14 @@ struct MnaTelemetry {
 }  // namespace
 
 SolverKind solver_kind_from_env() {
-  const char* v = std::getenv("SI_SOLVER");
-  if (!v) return SolverKind::kAuto;
-  const std::string s(v);
-  if (s.empty() || s == "auto") return SolverKind::kAuto;
-  if (s == "dense") return SolverKind::kDense;
-  if (s == "sparse") return SolverKind::kSparse;
-  if (s == "schur") return SolverKind::kSchur;
-  // A typo must not silently benchmark the auto-selected solver.
-  throw std::invalid_argument(
-      "SI_SOLVER: unknown value \"" + s +
-      "\" (valid values: auto, dense, sparse, schur)");
+  // A typo must not silently benchmark the auto-selected solver; the
+  // shared strict parser throws naming the valid choices.
+  const auto v = runtime::parse_env_choice("SI_SOLVER",
+                                           {"auto", "dense", "sparse", "schur"});
+  if (!v || *v == "auto") return SolverKind::kAuto;
+  if (*v == "dense") return SolverKind::kDense;
+  if (*v == "sparse") return SolverKind::kSparse;
+  return SolverKind::kSchur;
 }
 
 SolverKind resolve_solver(SolverKind requested, std::size_t n) {
@@ -294,6 +292,10 @@ int MnaEngine::newton(const StampContext& ctx, linalg::Vector& x,
       stamp_baseline(ctx, x, opt.gmin + extra_gdiag);
 
       for (int it = 1; it <= opt.max_iterations; ++it) {
+        // Cancellation / deadline checkpoint: CancelledError is not a
+        // ConvergenceError, so it unwinds past the gmin ladder instead
+        // of being retried at a different gmin.
+        if (opt.cancel) opt.cancel->checkpoint();
         assemble_iteration(ctx, x);
         tm.newton_iterations.add();
         try {

@@ -9,6 +9,7 @@
 #include "erc/check.hpp"
 #include "event/event_transient.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/env.hpp"
 #include "spice/elements.hpp"
 #include "spice/mna.hpp"
 
@@ -34,12 +35,14 @@ struct TransientTelemetry {
 }  // namespace
 
 TransientEngine transient_engine_from_env() {
-  const char* v = std::getenv("SI_TRANSIENT");
-  if (!v) return TransientEngine::kAuto;
-  const std::string s(v);
-  if (s == "event") return TransientEngine::kEvent;
-  if (s == "monolithic") return TransientEngine::kMonolithic;
-  return TransientEngine::kAuto;
+  // Strict parse: an unknown engine name used to fall back to kAuto
+  // silently, so SI_TRANSIENT=evnt benchmarked the monolithic engine
+  // while claiming event timings.  It now throws like SI_SOLVER.
+  const auto v = runtime::parse_env_choice("SI_TRANSIENT",
+                                           {"auto", "event", "monolithic"});
+  if (!v || *v == "auto") return TransientEngine::kAuto;
+  return *v == "event" ? TransientEngine::kEvent
+                       : TransientEngine::kMonolithic;
 }
 
 TransientEngine resolve_engine(TransientEngine requested, bool adaptive) {

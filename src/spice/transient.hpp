@@ -21,8 +21,10 @@ enum class TransientEngine {
                 ///< the circuit at switch boundaries and skips latent blocks
 };
 
-/// Parses SI_TRANSIENT ("event", "monolithic"); kAuto when unset or
-/// unrecognized.
+/// Parses SI_TRANSIENT ("auto", "event", "monolithic"); kAuto when
+/// unset, empty, or "auto".  Any other value throws
+/// std::invalid_argument naming the valid choices — an unrecognized
+/// engine name must not silently benchmark the monolithic engine.
 TransientEngine transient_engine_from_env();
 
 /// Resolves a requested engine to a concrete one.  An explicit request

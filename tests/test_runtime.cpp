@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "runtime/env.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/result_cache.hpp"
 #include "runtime/rng_stream.hpp"
@@ -224,10 +226,10 @@ TEST(RngStream, ParallelStreamDrawsMatchSerialAcrossThreadCounts) {
 
 TEST(ResultCache, HitMissCounters) {
   ResultCache<double> cache(8);
-  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(1));
   cache.store(1, 3.5);
   const auto hit = cache.lookup(1);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit);
   EXPECT_DOUBLE_EQ(*hit, 3.5);
   const auto st = cache.stats();
   EXPECT_EQ(st.hits, 1u);
@@ -239,13 +241,34 @@ TEST(ResultCache, LruEviction) {
   ResultCache<double> cache(2);
   cache.store(1, 1.0);
   cache.store(2, 2.0);
-  EXPECT_TRUE(cache.lookup(1).has_value());  // 1 is now most-recent
-  cache.store(3, 3.0);                       // evicts 2 (least recent)
-  EXPECT_FALSE(cache.lookup(2).has_value());
-  EXPECT_TRUE(cache.lookup(1).has_value());
-  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_TRUE(cache.lookup(1));  // 1 is now most-recent
+  cache.store(3, 3.0);           // evicts 2 (least recent)
+  EXPECT_FALSE(cache.lookup(2));
+  EXPECT_TRUE(cache.lookup(1));
+  EXPECT_TRUE(cache.lookup(3));
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, SharedSnapshotSurvivesEviction) {
+  // A caller that holds the shared_ptr from lookup() must keep a valid
+  // value even after the entry is evicted — eviction drops the cache's
+  // reference, not the caller's.
+  ResultCache<std::vector<double>> cache(1);
+  cache.store(1, std::vector<double>{4.0, 5.0});
+  const auto held = cache.lookup(1);
+  ASSERT_TRUE(held);
+  cache.store(2, std::vector<double>{6.0});  // evicts key 1
+  EXPECT_FALSE(cache.lookup(1));
+  ASSERT_EQ(held->size(), 2u);
+  EXPECT_DOUBLE_EQ((*held)[0], 4.0);
+  EXPECT_DOUBLE_EQ((*held)[1], 5.0);
+}
+
+TEST(ResultCache, StoreSharedRejectsNull) {
+  // A null entry would make lookup() hits indistinguishable from misses.
+  ResultCache<double> cache(2);
+  EXPECT_THROW(cache.store_shared(1, nullptr), std::invalid_argument);
 }
 
 TEST(ResultCache, GetOrComputeComputesOnce) {
@@ -280,6 +303,41 @@ TEST(ResultCache, ConcurrentAccessIsSafe) {
   set_thread_count(0);
 }
 
+TEST(ResultCache, ConcurrentEvictionPressureKeepsSnapshotsIntact) {
+  // Eviction racing with lookup is exactly the shared-cache service
+  // path: capacity far below the working set forces every store to
+  // evict while other threads hold and read snapshots.  The TSan lane
+  // proves the locking; the content checks prove readers never observe
+  // a half-evicted value.
+  ResultCache<std::vector<double>> cache(4);
+  set_thread_count(8);
+  parallel_for(
+      2000,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t key = i % 64;  // 16x the capacity
+          auto held = cache.get_or_compute(key, [key] {
+            return std::vector<double>(32, static_cast<double>(key));
+          });
+          ASSERT_TRUE(held);
+          ASSERT_EQ(held->size(), 32u);
+          EXPECT_DOUBLE_EQ(held->front(), static_cast<double>(key));
+          EXPECT_DOUBLE_EQ(held->back(), static_cast<double>(key));
+          // Deliberately hold the snapshot across another thread's
+          // evictions before re-reading it.
+          const auto again = cache.lookup((key + 1) % 64);
+          if (again) {
+            EXPECT_DOUBLE_EQ(again->front(), (key + 1) % 64);
+          }
+          EXPECT_DOUBLE_EQ(held->front(), static_cast<double>(key));
+        }
+      },
+      /*grain=*/16);
+  set_thread_count(0);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
 TEST(ResultCache, Fnv1aDigestIsOrderSensitive) {
   const auto a = Fnv1a().u64(1).u64(2).digest();
   const auto b = Fnv1a().u64(2).u64(1).digest();
@@ -299,6 +357,111 @@ TEST(RuntimeConfig, SetThreadCountOverridesAndResets) {
   EXPECT_EQ(global_pool().size(), 5u);
   set_thread_count(0);
   EXPECT_GE(thread_count(), 1u);
+}
+
+// --------------------------------------------------------- env parsing
+
+// RAII setter so a throwing expectation can't leak the variable into
+// later tests (the pool re-reads SI_RUNTIME_THREADS on every call).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvParsing, UnsetOrEmptyMeansDefault) {
+  ::unsetenv("SI_TEST_KNOB");
+  EXPECT_FALSE(parse_env_long("SI_TEST_KNOB"));
+  EXPECT_FALSE(parse_env_flag("SI_TEST_KNOB"));
+  EXPECT_FALSE(parse_env_choice("SI_TEST_KNOB", {"a", "b"}));
+  ScopedEnv env("SI_TEST_KNOB", "");
+  EXPECT_FALSE(parse_env_long("SI_TEST_KNOB"));
+  EXPECT_FALSE(parse_env_flag("SI_TEST_KNOB"));
+  EXPECT_FALSE(parse_env_choice("SI_TEST_KNOB", {"a", "b"}));
+}
+
+TEST(EnvParsing, LongAcceptsExactNumbersOnly) {
+  {
+    ScopedEnv env("SI_TEST_KNOB", "8");
+    EXPECT_EQ(parse_env_long("SI_TEST_KNOB"), 8);
+  }
+  {
+    ScopedEnv env("SI_TEST_KNOB", "-3");
+    EXPECT_EQ(parse_env_long("SI_TEST_KNOB"), -3);
+  }
+  // The regression that motivated the policy: "8x" used to strtol to 8.
+  {
+    ScopedEnv env("SI_TEST_KNOB", "8x");
+    EXPECT_THROW(parse_env_long("SI_TEST_KNOB"), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("SI_TEST_KNOB", "abc");
+    EXPECT_THROW(parse_env_long("SI_TEST_KNOB"), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("SI_TEST_KNOB", "99999999999999999999999");
+    EXPECT_THROW(parse_env_long("SI_TEST_KNOB"), std::invalid_argument);
+  }
+  {  // in-range check is the caller's contract, not a silent clamp
+    ScopedEnv env("SI_TEST_KNOB", "0");
+    EXPECT_THROW(parse_env_long("SI_TEST_KNOB", 1, 64), std::invalid_argument);
+  }
+}
+
+TEST(EnvParsing, FlagAcceptsDocumentedFormsOnly) {
+  for (const char* t : {"1", "on", "true"}) {
+    ScopedEnv env("SI_TEST_KNOB", t);
+    EXPECT_EQ(parse_env_flag("SI_TEST_KNOB"), true) << t;
+  }
+  for (const char* f : {"0", "off", "false"}) {
+    ScopedEnv env("SI_TEST_KNOB", f);
+    EXPECT_EQ(parse_env_flag("SI_TEST_KNOB"), false) << f;
+  }
+  for (const char* bad : {"yes", "ON", "2", "tru"}) {
+    ScopedEnv env("SI_TEST_KNOB", bad);
+    EXPECT_THROW(parse_env_flag("SI_TEST_KNOB"), std::invalid_argument) << bad;
+  }
+}
+
+TEST(EnvParsing, ChoiceRejectsTyposNamingValidValues) {
+  {
+    ScopedEnv env("SI_TEST_KNOB", "sparse");
+    EXPECT_EQ(parse_env_choice("SI_TEST_KNOB", {"dense", "sparse"}), "sparse");
+  }
+  ScopedEnv env("SI_TEST_KNOB", "sprase");
+  try {
+    parse_env_choice("SI_TEST_KNOB", {"dense", "sparse"});
+    FAIL() << "typo must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dense"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sparse"), std::string::npos);
+  }
+}
+
+TEST(RuntimeConfig, MalformedThreadEnvThrowsInsteadOfTruncating) {
+  // SI_RUNTIME_THREADS=8x historically ran on 8 threads; the strict
+  // parser must surface the misconfiguration at the first lookup.
+  set_thread_count(0);  // make thread_count() consult the environment
+  {
+    ScopedEnv env("SI_RUNTIME_THREADS", "8x");
+    EXPECT_THROW(thread_count(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("SI_RUNTIME_THREADS", "0");
+    EXPECT_THROW(thread_count(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("SI_RUNTIME_THREADS", "6");
+    EXPECT_EQ(thread_count(), 6u);
+  }
+  EXPECT_GE(thread_count(), 1u);  // unset again: hardware default
 }
 
 }  // namespace
